@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the codec substrate: the cost asymmetry
+//! (index seek vs I-frame decode vs full decode) that Table III aggregates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sieve_datasets::{DatasetId, DatasetScale, DatasetSpec};
+use sieve_video::{Decoder, EncodedVideo, Encoder, EncoderConfig, VideoIndex};
+
+fn setup() -> (EncodedVideo, Vec<u8>) {
+    let video = DatasetSpec::of(DatasetId::JacksonSquare).generate(DatasetScale::Tiny);
+    let encoded = EncodedVideo::encode(
+        video.resolution(),
+        video.fps(),
+        EncoderConfig::new(100, 150),
+        video.frames().take(120),
+    );
+    let bytes = encoded.to_bytes();
+    (encoded, bytes)
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let (encoded, bytes) = setup();
+    let video = DatasetSpec::of(DatasetId::JacksonSquare).generate(DatasetScale::Tiny);
+    let frame = video.frame(0);
+    let res = video.resolution();
+
+    c.bench_function("encode_one_frame", |b| {
+        b.iter_batched(
+            || Encoder::new(res, EncoderConfig::new(100, 150)),
+            |mut enc| enc.encode_frame(&frame),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("index_scan_120_frames", |b| {
+        b.iter(|| VideoIndex::parse(&bytes).expect("parses"))
+    });
+
+    let first_i = encoded.i_frame_indices()[0];
+    c.bench_function("iframe_independent_decode", |b| {
+        b.iter(|| encoded.decode_iframe_at(first_i).expect("decodes"))
+    });
+
+    c.bench_function("full_decode_120_frames", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::new(res, encoded.quality());
+            for ef in encoded.frames() {
+                std::hint::black_box(dec.decode_frame(ef).expect("decodes"));
+            }
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the event detectors' per-frame costs: the
+//! micro-level version of Table III (MSE pair vs SIFT pair vs NN
+//! inference).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sieve_datasets::{DatasetId, DatasetScale, DatasetSpec};
+use sieve_filters::{ChangeDetector, MseDetector, SiftDetector};
+use sieve_nn::{frame_to_tensor, reference_model};
+
+fn bench_detectors(c: &mut Criterion) {
+    let video = DatasetSpec::of(DatasetId::JacksonSquare).generate(DatasetScale::Tiny);
+    let a = video.frame(0);
+    let b = video.frame(1);
+
+    c.bench_function("mse_pair", |bch| {
+        let mut det = MseDetector::new();
+        bch.iter(|| det.change_score(&a, &b))
+    });
+
+    c.bench_function("sift_pair", |bch| {
+        let mut det = SiftDetector::new();
+        bch.iter(|| {
+            det.reset(); // force full recomputation, as a cold pair costs
+            det.change_score(&a, &b)
+        })
+    });
+
+    c.bench_function("nn_inference", |bch| {
+        let mut model = reference_model(1);
+        let input = frame_to_tensor(&a);
+        bch.iter(|| model.forward(&input))
+    });
+
+    c.bench_function("frame_to_tensor_resize", |bch| {
+        bch.iter(|| frame_to_tensor(&a))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_detectors
+}
+criterion_main!(benches);

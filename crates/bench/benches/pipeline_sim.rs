@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the end-to-end machinery: the tandem-queue
+//! simulator's cost per frame (it must stay cheap enough to replay millions
+//! of frames) and label propagation/scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sieve_core::{score_selection, simulate_baseline, Baseline, VideoWorkload, WorkloadCosts};
+use sieve_datasets::LabelSet;
+use sieve_simnet::ThreeTier;
+
+fn workload(frames: usize) -> VideoWorkload {
+    VideoWorkload {
+        name: "bench".into(),
+        frame_count: frames,
+        semantic_i_frames: frames / 50,
+        mse_selected: frames / 20,
+        semantic_stream_bytes: frames as u64 * 1000,
+        default_stream_bytes: frames as u64 * 900,
+        nn_input_bytes: 1536,
+        label_bytes: 16,
+        costs: WorkloadCosts {
+            seek_per_frame: 5e-7,
+            iframe_decode: 2e-3,
+            full_decode_per_frame: 8e-3,
+            mse_per_pair: 4e-3,
+            resize_to_nn: 5e-4,
+            nn_inference: 1e-2,
+        },
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("simulate_100k_frames_sieve", |b| {
+        let w = workload(100_000);
+        let topo = ThreeTier::paper_default();
+        b.iter(|| simulate_baseline(Baseline::IFrameEdgeCloudNn, std::slice::from_ref(&w), &topo))
+    });
+
+    c.bench_function("score_selection_10k_frames", |b| {
+        let labels: Vec<LabelSet> = (0..10_000)
+            .map(|i| LabelSet::from_bits((i / 500 % 3) as u8))
+            .collect();
+        let selected: Vec<usize> = (0..10_000).step_by(97).collect();
+        b.iter(|| score_selection(&labels, &selected))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Ablations beyond the paper's headline experiments:
+//!
+//! 1. scenecut sweep at fixed GOP — the sensitivity knob in isolation;
+//! 2. GOP sweep at fixed scenecut — what blind keyframing alone achieves;
+//! 3. object size vs tuned scenecut — the paper's per-camera-tuning
+//!    rationale (smaller objects need more sensitive thresholds);
+//! 4. NN split point vs WAN bandwidth — the deployment service's other
+//!    option (Neurosurgeon-style partitioning).
+
+use sieve_bench::harness::Prepared;
+use sieve_bench::report::{pct, table};
+use sieve_bench::scale_from_args;
+use sieve_core::{score_encoding, IFrameSeeker};
+use sieve_datasets::{DatasetId, DatasetScale, DatasetSpec};
+use sieve_nn::{best_split, reference_model, TierSpec};
+use sieve_video::EncoderConfig;
+
+fn main() {
+    let scale = scale_from_args();
+    scenecut_sweep(scale);
+    gop_sweep(scale);
+    object_size_vs_scenecut(scale);
+    nn_split_vs_bandwidth();
+}
+
+fn scenecut_sweep(scale: DatasetScale) {
+    println!("Ablation 1: scenecut threshold sweep (Coral reef, GOP 600)\n");
+    let prepared = Prepared::new(DatasetId::CoralReef, scale);
+    let video = &prepared.video;
+    let rows: Vec<Vec<String>> = [0u16, 40, 100, 150, 200, 250, 300, 400]
+        .iter()
+        .map(|&sc| {
+            let v = sieve_video::EncodedVideo::encode(
+                video.resolution(), video.fps(), EncoderConfig::new(600, sc), video.frames());
+            let q = score_encoding(&v, video.labels());
+            vec![
+                sc.to_string(),
+                pct(q.accuracy),
+                pct(q.sampling_rate),
+                format!("{:.3}", q.f1),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["scenecut", "accuracy", "sampled", "F1"], &rows));
+}
+
+fn gop_sweep(scale: DatasetScale) {
+    println!("Ablation 2: GOP-only sweep (scenecut disabled)\n");
+    let prepared = Prepared::new(DatasetId::CoralReef, scale);
+    let video = &prepared.video;
+    let rows: Vec<Vec<String>> = [30usize, 100, 250, 600]
+        .iter()
+        .map(|&gop| {
+            let v = sieve_video::EncodedVideo::encode(
+                video.resolution(), video.fps(), EncoderConfig::new(gop, 0), video.frames());
+            let q = score_encoding(&v, video.labels());
+            vec![
+                gop.to_string(),
+                pct(q.accuracy),
+                pct(q.sampling_rate),
+                format!("{:.3}", q.f1),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["GOP", "accuracy", "sampled", "F1"], &rows));
+    println!(
+        "(Blind keyframing needs far more I-frames for the same accuracy — \
+         the motivation for scenecut-driven semantic encoding.)\n"
+    );
+}
+
+fn object_size_vs_scenecut(scale: DatasetScale) {
+    println!("Ablation 3: object size vs tuned scenecut (same scene otherwise)\n");
+    let mut rows = Vec::new();
+    for &obj_scale in &[0.15f32, 0.25, 0.40] {
+        let mut spec = DatasetSpec::of(DatasetId::JacksonSquare);
+        spec.object_scale = obj_scale;
+        let video = spec.generate(scale);
+        // Find the highest-F1 scenecut at fixed GOP.
+        let mut best = (0u16, f64::MIN);
+        for sc in [60u16, 100, 150, 200, 250, 300] {
+            let v = sieve_video::EncodedVideo::encode(
+                video.resolution(),
+                video.fps(),
+                EncoderConfig::new(600, sc),
+                video.frames(),
+            );
+            let q = score_encoding(&v, video.labels());
+            if q.f1 > best.1 {
+                best = (sc, q.f1);
+            }
+        }
+        rows.push(vec![
+            format!("{:.0}% of frame height", obj_scale * 100.0),
+            best.0.to_string(),
+            format!("{:.3}", best.1),
+        ]);
+    }
+    println!("{}", table(&["object size", "best scenecut", "F1"], &rows));
+    println!(
+        "(Paper: cameras whose objects appear smaller tune to more sensitive \
+         scenecut values — the reason parameters are tuned per camera.)\n"
+    );
+}
+
+fn nn_split_vs_bandwidth() {
+    println!("Ablation 4: NN partition point vs WAN bandwidth\n");
+    let model = reference_model(7);
+    let input = [3usize, 32, 32];
+    let rows: Vec<Vec<String>> = [0.5f64, 2.0, 8.0, 30.0, 120.0, 1000.0]
+        .iter()
+        .map(|&mbps| {
+            let tiers = TierSpec {
+                bandwidth_bytes_per_sec: mbps * 1e6 / 8.0,
+                ..TierSpec::paper_default()
+            };
+            let b = best_split(&model, &input, &tiers);
+            vec![
+                format!("{mbps} Mb/s"),
+                b.split.to_string(),
+                b.transfer_bytes.to_string(),
+                format!("{:.2} ms", b.total_secs() * 1e3),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["WAN", "split layer", "bytes/frame", "latency"], &rows)
+    );
+    println!(
+        "(Thin links push the split deeper into the network, shipping the \
+         smallest activation; fat links ship raw inputs to the faster cloud.)"
+    );
+}
+
+// Silence the unused-import lint when features change.
+#[allow(unused)]
+fn _keep(seeker: IFrameSeeker) {}

@@ -1,0 +1,54 @@
+//! Fig 3: accuracy at different sampling rates — SiEVE vs SIFT vs MSE.
+//!
+//! For each labelled dataset, sweeps the scenecut threshold to produce
+//! SiEVE operating points between ~0.5% and ~4% sampled frames, calibrates
+//! the MSE and SIFT thresholds to the same sampling rates, and prints the
+//! accuracy series (the paper's two sub-figures plus the Venice summary).
+
+use sieve_bench::harness::{accuracy_sweep, Prepared};
+use sieve_bench::report::{pct, table};
+use sieve_bench::scale_from_args;
+use sieve_datasets::DatasetId;
+
+fn main() {
+    let scale = scale_from_args();
+    // Scenecut sweep spanning the codec's useful band: low values sample
+    // sparsely, high values aggressively.
+    let scenecuts = [60u16, 100, 130, 150, 170, 200, 240];
+    println!("Fig 3: accuracy vs percentage of sampled frames (scale = {scale:?})\n");
+    let mut summaries = Vec::new();
+    for id in DatasetId::LABELLED {
+        let prepared = Prepared::new(id, scale);
+        let points = accuracy_sweep(&prepared, 600, &scenecuts);
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.2}%", 100.0 * p.sampling),
+                    pct(p.sieve),
+                    pct(p.sift),
+                    pct(p.mse),
+                ]
+            })
+            .collect();
+        println!("{id} ({} eval frames):", prepared.eval_labels().len());
+        println!(
+            "{}",
+            table(&["sampled", "SiEVE", "SIFT", "MSE"], &rows)
+        );
+        // Paper-style summary: mean advantage over each baseline.
+        let n = points.len() as f64;
+        let mean_vs_sift: f64 =
+            points.iter().map(|p| p.sieve - p.sift).sum::<f64>() / n;
+        let mean_vs_mse: f64 = points.iter().map(|p| p.sieve - p.mse).sum::<f64>() / n;
+        summaries.push((id, mean_vs_sift, mean_vs_mse));
+    }
+    println!("Summary (mean accuracy advantage of SiEVE across the sweep):");
+    for (id, vs_sift, vs_mse) in summaries {
+        println!(
+            "  {id}: +{:.1}% vs SIFT, +{:.1}% vs MSE",
+            100.0 * vs_sift,
+            100.0 * vs_mse
+        );
+    }
+}

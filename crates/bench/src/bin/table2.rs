@@ -1,0 +1,55 @@
+//! Table II: semantic vs default encoding parameters.
+//!
+//! Tunes (GOP, scenecut) per camera on each labelled dataset's training
+//! half, then reports accuracy (Acc), sample size (SS) and F1 for both the
+//! tuned and the default (GOP 250, scenecut 40) parameters on the eval
+//! half.
+
+use sieve_bench::harness::{harness_grid, semantic_vs_default, Prepared};
+use sieve_bench::report::{pct, table};
+use sieve_bench::scale_from_args;
+use sieve_datasets::DatasetId;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = harness_grid();
+    println!(
+        "Table II: semantic vs default parameters (scale = {scale:?}, grid = {} configs)\n",
+        grid.len()
+    );
+    let mut rows = Vec::new();
+    for id in DatasetId::LABELLED {
+        let prepared = Prepared::new(id, scale);
+        let r = semantic_vs_default(&prepared, &grid);
+        rows.push(vec![
+            r.dataset.clone(),
+            format!("({}, {})", r.tuned.gop_size, r.tuned.scenecut),
+            pct(r.semantic.accuracy),
+            pct(r.semantic.sampling_rate),
+            pct(r.semantic.f1),
+            pct(r.default.accuracy),
+            pct(r.default.sampling_rate),
+            pct(r.default.f1),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "Dataset",
+                "tuned (GOP, sc)",
+                "Sem Acc",
+                "Sem SS",
+                "Sem F1",
+                "Def Acc",
+                "Def SS",
+                "Def F1"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "(Paper shape: semantic parameters achieve 96-99% accuracy at 1-3% \
+         sample size, beating the defaults on F1 on every dataset.)"
+    );
+}

@@ -1,0 +1,155 @@
+//! Event detection and label assignment over encoded videos.
+//!
+//! Glues together the seeker (or a baseline's frame selection), an object
+//! detector, and label propagation into the result the cloud stores: a list
+//! of `(frame id, object labels)` tuples plus the derived per-frame labels.
+
+use sieve_datasets::{segment_events, Event, LabelSet};
+use sieve_nn::ObjectDetector;
+use sieve_video::{DecodeError, EncodedVideo, Frame};
+
+use crate::metrics::propagate_labels;
+use crate::seeker::IFrameSeeker;
+
+/// The output of analysing one video.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisResult {
+    /// The frames that were decoded and run through the NN, with the labels
+    /// the NN produced.
+    pub selected: Vec<(usize, LabelSet)>,
+    /// Per-frame labels after propagation.
+    pub predicted: Vec<LabelSet>,
+}
+
+impl AnalysisResult {
+    /// The predicted events (maximal runs of equal labels).
+    pub fn events(&self) -> Vec<Event> {
+        segment_events(&self.predicted)
+    }
+
+    /// Fraction of frames that were analysed by the NN.
+    pub fn sampling_rate(&self) -> f64 {
+        if self.predicted.is_empty() {
+            0.0
+        } else {
+            self.selected.len() as f64 / self.predicted.len() as f64
+        }
+    }
+}
+
+/// SiEVE's analysis path: seek I-frames, decode each independently, run the
+/// detector on them only, propagate labels to all other frames.
+///
+/// # Errors
+///
+/// Propagates the first I-frame decode failure.
+pub fn analyze_sieve(
+    video: &EncodedVideo,
+    detector: &mut dyn ObjectDetector,
+) -> Result<AnalysisResult, DecodeError> {
+    let seeker = IFrameSeeker::new(video);
+    let mut selected = Vec::with_capacity(seeker.i_frame_count());
+    for item in seeker.decode_i_frames() {
+        let (idx, frame) = item?;
+        selected.push((idx, detector.detect(idx, &frame)));
+    }
+    let predicted = propagate_labels(video.frame_count(), &selected);
+    Ok(AnalysisResult {
+        selected,
+        predicted,
+    })
+}
+
+/// A baseline's analysis path: the caller supplies decoded frames and the
+/// indices its filter selected; the detector runs on those frames only.
+///
+/// # Panics
+///
+/// Panics if an index is out of range or indices are unsorted.
+pub fn analyze_selected(
+    frames: &[Frame],
+    selected_indices: &[usize],
+    detector: &mut dyn ObjectDetector,
+) -> AnalysisResult {
+    let selected: Vec<(usize, LabelSet)> = selected_indices
+        .iter()
+        .map(|&i| (i, detector.detect(i, &frames[i])))
+        .collect();
+    let predicted = propagate_labels(frames.len(), &selected);
+    AnalysisResult {
+        selected,
+        predicted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sieve_datasets::{DatasetId, DatasetScale, DatasetSpec};
+    use sieve_nn::OracleDetector;
+    use sieve_video::EncoderConfig;
+
+    fn setup() -> (sieve_datasets::SyntheticVideo, EncodedVideo) {
+        let spec = DatasetSpec::of(DatasetId::JacksonSquare);
+        let video = spec.generate(DatasetScale::Tiny);
+        let encoded = EncodedVideo::encode(
+            video.resolution(),
+            video.fps(),
+            EncoderConfig::new(200, 200),
+            video.frames(),
+        );
+        (video, encoded)
+    }
+
+    #[test]
+    fn sieve_analysis_reaches_high_accuracy_with_few_frames() {
+        let (video, encoded) = setup();
+        let mut oracle = OracleDetector::for_video(&video);
+        let result = analyze_sieve(&encoded, &mut oracle).expect("analysis");
+        let acc = crate::metrics::label_accuracy(video.labels(), &result.predicted);
+        assert!(
+            acc > 0.85,
+            "semantic encoding should label most frames correctly: {acc}"
+        );
+        assert!(
+            result.sampling_rate() < 0.2,
+            "should decode few frames: {}",
+            result.sampling_rate()
+        );
+    }
+
+    #[test]
+    fn events_derivable_from_analysis() {
+        let (video, encoded) = setup();
+        let mut oracle = OracleDetector::for_video(&video);
+        let result = analyze_sieve(&encoded, &mut oracle).expect("analysis");
+        let events = result.events();
+        let total: usize = events.iter().map(|e| e.len).sum();
+        assert_eq!(total, video.frame_count());
+    }
+
+    #[test]
+    fn analyze_selected_matches_oracle_on_all_frames() {
+        let (video, _) = setup();
+        let frames: Vec<Frame> = video.frames().collect();
+        let all: Vec<usize> = (0..frames.len()).collect();
+        let mut oracle = OracleDetector::for_video(&video);
+        let result = analyze_selected(&frames, &all, &mut oracle);
+        assert_eq!(result.predicted, video.labels());
+        assert!((result.sampling_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_selections_lower_or_equal_accuracy() {
+        let (video, _) = setup();
+        let frames: Vec<Frame> = video.frames().collect();
+        let mut oracle = OracleDetector::for_video(&video);
+        let sparse: Vec<usize> = (0..frames.len()).step_by(100).collect();
+        let dense: Vec<usize> = (0..frames.len()).step_by(10).collect();
+        let acc = |sel: &[usize], det: &mut OracleDetector| {
+            let r = analyze_selected(&frames, sel, det);
+            crate::metrics::label_accuracy(video.labels(), &r.predicted)
+        };
+        assert!(acc(&sparse, &mut oracle) <= acc(&dense, &mut oracle));
+    }
+}

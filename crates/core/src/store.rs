@@ -1,0 +1,227 @@
+//! The results database and GOP-level event seeking.
+//!
+//! The paper's cloud engine "stores the result in a database ... a list of
+//! tuples where each tuple consists of frame ID and the object names", and
+//! the semantically encoded video kept at the edge "helps to quickly seek
+//! the exact event/GOP that can be further analyzed". This module provides
+//! both: a queryable result store and an event seeker that maps a label
+//! query to the GOPs (byte ranges) holding the matching footage.
+
+use serde::{Deserialize, Serialize};
+use sieve_datasets::{segment_events, Event, LabelSet, ObjectClass};
+use sieve_video::{DecodeError, EncodedVideo, Frame};
+
+use crate::events::AnalysisResult;
+
+/// One stored detection result: the tuple the paper's cloud database keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResultTuple {
+    /// Frame index within the video.
+    pub frame_id: usize,
+    /// Object labels detected in that frame.
+    pub labels: LabelSet,
+}
+
+/// The per-video result store.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResultStore {
+    tuples: Vec<ResultTuple>,
+    frame_count: usize,
+}
+
+impl ResultStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a store from an analysis result.
+    pub fn from_analysis(result: &AnalysisResult) -> Self {
+        Self {
+            tuples: result
+                .selected
+                .iter()
+                .map(|&(frame_id, labels)| ResultTuple { frame_id, labels })
+                .collect(),
+            frame_count: result.predicted.len(),
+        }
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All tuples in frame order.
+    pub fn tuples(&self) -> &[ResultTuple] {
+        &self.tuples
+    }
+
+    /// Per-frame labels reconstructed by propagation (frame `i` inherits the
+    /// most recent stored tuple at or before `i`).
+    pub fn frame_labels(&self) -> Vec<LabelSet> {
+        let pairs: Vec<(usize, LabelSet)> = self
+            .tuples
+            .iter()
+            .map(|t| (t.frame_id, t.labels))
+            .collect();
+        crate::metrics::propagate_labels(self.frame_count, &pairs)
+    }
+
+    /// The events implied by the stored tuples.
+    pub fn events(&self) -> Vec<Event> {
+        segment_events(&self.frame_labels())
+    }
+
+    /// Events whose label set contains `class` — "show me every car".
+    pub fn events_with(&self, class: ObjectClass) -> Vec<Event> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.labels.contains(class))
+            .collect()
+    }
+
+    /// The frame ranges (start, end) where `class` was visible, merged.
+    pub fn presence_ranges(&self, class: ObjectClass) -> Vec<(usize, usize)> {
+        self.events_with(class)
+            .into_iter()
+            .map(|e| (e.start, e.end()))
+            .collect()
+    }
+}
+
+/// Seeks the stored semantic video for the footage behind a query: for each
+/// matching event, decode its anchor I-frame (and optionally the rest of
+/// its GOP through the normal decoder) without touching unrelated GOPs.
+#[derive(Debug)]
+pub struct EventSeeker<'a> {
+    video: &'a EncodedVideo,
+    store: &'a ResultStore,
+}
+
+impl<'a> EventSeeker<'a> {
+    /// Creates a seeker over the archived semantic stream and its results.
+    pub fn new(video: &'a EncodedVideo, store: &'a ResultStore) -> Self {
+        Self { video, store }
+    }
+
+    /// The anchor I-frame index for an event: the latest stored tuple at or
+    /// before the event start (by construction of the analysis, event
+    /// boundaries coincide with analysed I-frames).
+    pub fn anchor_for(&self, event: &Event) -> Option<usize> {
+        self.store
+            .tuples()
+            .iter()
+            .rev()
+            .map(|t| t.frame_id)
+            .find(|&id| id <= event.start)
+    }
+
+    /// Decodes the anchor frame of every event containing `class`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I-frame decode failure.
+    pub fn footage_of(&self, class: ObjectClass) -> Result<Vec<(Event, Frame)>, DecodeError> {
+        let mut out = Vec::new();
+        for event in self.store.events_with(class) {
+            let Some(anchor) = self.anchor_for(&event) else {
+                continue;
+            };
+            let frame = self.video.decode_iframe_at(anchor)?;
+            out.push((event, frame));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::analyze_sieve;
+    use sieve_datasets::{DatasetId, DatasetScale, DatasetSpec};
+    use sieve_nn::OracleDetector;
+    use sieve_video::EncoderConfig;
+
+    fn setup() -> (sieve_datasets::SyntheticVideo, EncodedVideo, ResultStore) {
+        let video = DatasetSpec::of(DatasetId::JacksonSquare).generate(DatasetScale::Tiny);
+        let encoded = EncodedVideo::encode(
+            video.resolution(),
+            video.fps(),
+            EncoderConfig::new(300, 150),
+            video.frames(),
+        );
+        let mut nn = OracleDetector::for_video(&video);
+        let result = analyze_sieve(&encoded, &mut nn).expect("analysis");
+        let store = ResultStore::from_analysis(&result);
+        (video, encoded, store)
+    }
+
+    #[test]
+    fn store_round_trips_labels() {
+        let (video, _, store) = setup();
+        assert!(!store.is_empty());
+        let labels = store.frame_labels();
+        assert_eq!(labels.len(), video.frame_count());
+        // Stored tuples are exact at their own frames.
+        for t in store.tuples() {
+            assert_eq!(labels[t.frame_id], t.labels);
+        }
+    }
+
+    #[test]
+    fn events_with_class_filters() {
+        let (_, _, store) = setup();
+        let all = store.events();
+        let cars = store.events_with(ObjectClass::Car);
+        assert!(cars.len() <= all.len());
+        for e in &cars {
+            assert!(e.labels.contains(ObjectClass::Car));
+        }
+        // Boats never appear in Jackson square.
+        assert!(store.events_with(ObjectClass::Boat).is_empty());
+    }
+
+    #[test]
+    fn seeker_returns_decodable_footage() {
+        let (_, encoded, store) = setup();
+        let seeker = EventSeeker::new(&encoded, &store);
+        // Whatever vehicle classes occurred must be seekable.
+        let mut found_any = false;
+        for class in [ObjectClass::Car, ObjectClass::Bus, ObjectClass::Truck] {
+            for (event, frame) in seeker.footage_of(class).expect("footage") {
+                assert!(event.labels.contains(class));
+                assert_eq!(frame.resolution(), encoded.resolution());
+                found_any = true;
+            }
+        }
+        assert!(found_any, "tiny Jackson square must contain vehicle events");
+    }
+
+    #[test]
+    fn presence_ranges_are_disjoint_and_ordered() {
+        let (_, _, store) = setup();
+        for class in [ObjectClass::Car, ObjectClass::Bus, ObjectClass::Truck] {
+            let ranges = store.presence_ranges(class);
+            for w in ranges.windows(2) {
+                assert!(w[0].1 <= w[1].0, "ranges must not overlap");
+            }
+            for (s, e) in ranges {
+                assert!(s < e);
+            }
+        }
+    }
+
+    #[test]
+    fn store_serde_roundtrip() {
+        let (_, _, store) = setup();
+        let json = serde_json::to_string(&store).expect("serialize");
+        let back: ResultStore = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(store, back);
+    }
+}

@@ -1,0 +1,35 @@
+//! # sieve-nn — a from-scratch CNN inference and training engine
+//!
+//! The neural-network substrate of the SiEVE reproduction: dense tensors,
+//! convolutional layers with backprop, SGD training, and Neurosurgeon-style
+//! layer partitioning across edge and cloud. Mature CNN crates are not
+//! available offline, so the substrate is built here; it is small but real —
+//! the end-to-end experiments run actual inference, and the detector is
+//! actually trained on the synthetic datasets.
+//!
+//! ```
+//! use sieve_nn::{reference_model, Tensor};
+//!
+//! let mut model = reference_model(42);
+//! let input = Tensor::zeros(&[3, 32, 32]);
+//! let logits = model.forward(&input);
+//! assert_eq!(logits.len(), 5); // one logit per object class
+//! ```
+
+pub mod detector;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod partition;
+pub mod tensor;
+pub mod train;
+
+pub use detector::{
+    frame_to_tensor, labels_to_targets, reference_model, samples_from_video, CnnDetector,
+    ObjectDetector, OracleDetector, CNN_INPUT_SIZE,
+};
+pub use layers::{Conv2d, Dense, Flatten, Layer, MaxPool2, Relu};
+pub use model::Sequential;
+pub use partition::{best_split, split_costs, Placement, SplitCost, TierSpec};
+pub use tensor::Tensor;
+pub use train::{evaluate_multilabel, train_multilabel, Sample, TrainConfig, TrainReport};

@@ -1,0 +1,134 @@
+//! Loss functions: multi-label binary cross-entropy and softmax
+//! cross-entropy, both with analytic gradients w.r.t. logits.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Multi-label binary cross-entropy with logits.
+///
+/// `targets[i]` in `{0.0, 1.0}` says whether class `i` is present. Returns
+/// the mean loss and the gradient w.r.t. the logits.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn bce_with_logits(logits: &Tensor, targets: &[f32]) -> (f32, Tensor) {
+    assert_eq!(logits.len(), targets.len(), "logits/targets length mismatch");
+    let n = logits.len() as f32;
+    let mut grad = Tensor::zeros(logits.shape());
+    let mut loss = 0.0f32;
+    for (i, (&z, &t)) in logits.data().iter().zip(targets).enumerate() {
+        // Stable form: max(z,0) - z*t + ln(1 + exp(-|z|)).
+        loss += z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+        grad.data_mut()[i] = (sigmoid(z) - t) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Softmax cross-entropy with an integer class target. Returns the loss and
+/// the gradient w.r.t. the logits.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, target: usize) -> (f32, Tensor) {
+    assert!(target < logits.len(), "target class out of range");
+    let max = logits
+        .data()
+        .iter()
+        .cloned()
+        .fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.data().iter().map(|&z| (z - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let mut grad = Tensor::zeros(logits.shape());
+    for (i, e) in exps.iter().enumerate() {
+        let p = e / sum;
+        grad.data_mut()[i] = p - if i == target { 1.0 } else { 0.0 };
+    }
+    let loss = -(exps[target] / sum).ln();
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_bounds_and_midpoint() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(20.0) > 0.999);
+        assert!(sigmoid(-20.0) < 0.001);
+    }
+
+    #[test]
+    fn bce_perfect_prediction_low_loss() {
+        let logits = Tensor::from_vec(&[2], vec![10.0, -10.0]);
+        let (loss, _) = bce_with_logits(&logits, &[1.0, 0.0]);
+        assert!(loss < 0.01, "confident correct prediction: loss {loss}");
+    }
+
+    #[test]
+    fn bce_wrong_prediction_high_loss() {
+        let logits = Tensor::from_vec(&[2], vec![-10.0, 10.0]);
+        let (loss, _) = bce_with_logits(&logits, &[1.0, 0.0]);
+        assert!(loss > 5.0);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(&[3], vec![0.3, -0.7, 1.2]);
+        let targets = [1.0, 0.0, 1.0];
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut p = logits.clone();
+            p.data_mut()[i] += eps;
+            let mut m = logits.clone();
+            m.data_mut()[i] -= eps;
+            let (lp, _) = bce_with_logits(&p, &targets);
+            let (lm, _) = bce_with_logits(&m, &targets);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "bce grad mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_ce_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(&[4], vec![0.1, 2.0, -1.0, 0.5]);
+        let (_, grad) = softmax_cross_entropy(&logits, 2);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut p = logits.clone();
+            p.data_mut()[i] += eps;
+            let mut m = logits.clone();
+            m.data_mut()[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&p, 2);
+            let (lm, _) = softmax_cross_entropy(&m, 2);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "softmax grad mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_grad_sums_to_zero() {
+        let logits = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, 0);
+        let sum: f32 = grad.data().iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+}

@@ -1,0 +1,219 @@
+//! Sequential models: forward passes, activation sizes, FLOP profiles.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// A feed-forward stack of layers.
+///
+/// The model exposes per-boundary activation sizes and per-layer FLOP
+/// estimates because SiEVE's deployment service partitions NN layers across
+/// edge and cloud (Neurosurgeon-style): the partitioner needs to know how
+/// many bytes cross the network at each candidate split and how much compute
+/// lands on each side.
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Inference-mode forward pass.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for l in self.layers.iter_mut() {
+            x = l.forward(&x, false);
+        }
+        x
+    }
+
+    /// Training-mode forward pass (layers cache activations).
+    pub fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for l in self.layers.iter_mut() {
+            x = l.forward(&x, true);
+        }
+        x
+    }
+
+    /// Backward pass from the loss gradient at the output.
+    pub fn backward(&mut self, grad_out: &Tensor) {
+        let mut g = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+    }
+
+    /// Applies and clears accumulated gradients.
+    pub fn apply_gradients(&mut self, lr: f32) {
+        for l in self.layers.iter_mut() {
+            l.apply_gradients(lr);
+        }
+    }
+
+    /// Forward pass over a *suffix* of the model starting at layer `from`
+    /// (used to run the cloud half after a split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > len()`.
+    pub fn forward_from(&mut self, from: usize, input: &Tensor) -> Tensor {
+        assert!(from <= self.layers.len(), "split point out of range");
+        let mut x = input.clone();
+        for l in self.layers[from..].iter_mut() {
+            x = l.forward(&x, false);
+        }
+        x
+    }
+
+    /// Forward pass over the *prefix* of the model up to (exclusive) layer
+    /// `to` (the edge half after a split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to > len()`.
+    pub fn forward_to(&mut self, to: usize, input: &Tensor) -> Tensor {
+        assert!(to <= self.layers.len(), "split point out of range");
+        let mut x = input.clone();
+        for l in self.layers[..to].iter_mut() {
+            x = l.forward(&x, false);
+        }
+        x
+    }
+
+    /// Shape of every activation boundary for `input_shape`: element 0 is
+    /// the input itself, element `i+1` is the output of layer `i`.
+    pub fn activation_shapes(&self, input_shape: &[usize]) -> Vec<Vec<usize>> {
+        let mut shapes = vec![input_shape.to_vec()];
+        let mut cur = input_shape.to_vec();
+        for l in &self.layers {
+            cur = l.output_shape(&cur);
+            shapes.push(cur.clone());
+        }
+        shapes
+    }
+
+    /// Bytes crossing each activation boundary (4 bytes per element).
+    pub fn activation_bytes(&self, input_shape: &[usize]) -> Vec<usize> {
+        self.activation_shapes(input_shape)
+            .iter()
+            .map(|s| s.iter().product::<usize>() * 4)
+            .collect()
+    }
+
+    /// FLOP estimate per layer for `input_shape`.
+    pub fn layer_flops(&self, input_shape: &[usize]) -> Vec<u64> {
+        let shapes = self.activation_shapes(input_shape);
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| l.flops(&shapes[i]))
+            .collect()
+    }
+
+    /// Total FLOPs of a full forward pass.
+    pub fn total_flops(&self, input_shape: &[usize]) -> u64 {
+        self.layer_flops(input_shape).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Flatten, MaxPool2, Relu};
+
+    fn tiny_model() -> Sequential {
+        Sequential::new()
+            .push(Box::new(Conv2d::new(3, 4, 3, 1)))
+            .push(Box::new(Relu::new()))
+            .push(Box::new(MaxPool2::new()))
+            .push(Box::new(Flatten::new()))
+            .push(Box::new(Dense::new(4 * 8 * 8, 5, 2)))
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut m = tiny_model();
+        let x = Tensor::he_init(&[3, 16, 16], 16, 3);
+        let y = m.forward(&x);
+        assert_eq!(y.shape(), &[5]);
+    }
+
+    #[test]
+    fn activation_shapes_chain() {
+        let m = tiny_model();
+        let shapes = m.activation_shapes(&[3, 16, 16]);
+        assert_eq!(shapes.len(), 6);
+        assert_eq!(shapes[0], vec![3, 16, 16]);
+        assert_eq!(shapes[1], vec![4, 16, 16]);
+        assert_eq!(shapes[3], vec![4, 8, 8]);
+        assert_eq!(shapes[4], vec![256]);
+        assert_eq!(shapes[5], vec![5]);
+    }
+
+    #[test]
+    fn activation_bytes_match_shapes() {
+        let m = tiny_model();
+        let bytes = m.activation_bytes(&[3, 16, 16]);
+        assert_eq!(bytes[0], 3 * 16 * 16 * 4);
+        assert_eq!(bytes[5], 5 * 4);
+    }
+
+    #[test]
+    fn split_forward_equals_full_forward() {
+        let mut m = tiny_model();
+        let x = Tensor::he_init(&[3, 16, 16], 16, 9);
+        let full = m.forward(&x);
+        for split in 0..=m.len() {
+            let mid = m.forward_to(split, &x);
+            let out = m.forward_from(split, &mid);
+            assert_eq!(out, full, "split at {split} diverged");
+        }
+    }
+
+    #[test]
+    fn flops_positive_for_compute_layers() {
+        let m = tiny_model();
+        let flops = m.layer_flops(&[3, 16, 16]);
+        assert!(flops[0] > 0, "conv has flops");
+        assert_eq!(flops[3], 0, "flatten is free");
+        assert_eq!(m.total_flops(&[3, 16, 16]), flops.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let m = tiny_model();
+        let conv_params = 4 * 3 * 3 * 3 + 4;
+        let dense_params = 256 * 5 + 5;
+        assert_eq!(m.param_count(), conv_params + dense_params);
+    }
+}

@@ -1,0 +1,211 @@
+//! A small general-purpose discrete-event simulator.
+//!
+//! Events are closures scheduled at simulated times; ties break in schedule
+//! order (FIFO), which keeps runs deterministic. The tandem-queue pipeline
+//! model in [`crate::pipeline`] covers the end-to-end experiments; this
+//! engine exists for everything that does not fit a linear pipeline (e.g.
+//! periodic reporting, multi-source arrival processes in tests and
+//! extensions).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+type EventFn = Box<dyn FnOnce(&mut Simulator)>;
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    run: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Closure-driven discrete-event simulator.
+///
+/// ```
+/// use sieve_simnet::des::Simulator;
+/// use sieve_simnet::time::SimTime;
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Simulator::new();
+/// let log = Rc::new(RefCell::new(Vec::new()));
+/// let l2 = log.clone();
+/// sim.schedule(SimTime::from_secs_f64(1.0), move |sim| {
+///     l2.borrow_mut().push(sim.now());
+/// });
+/// sim.run();
+/// assert_eq!(log.borrow().len(), 1);
+/// ```
+#[derive(Default)]
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    executed: u64,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// A simulator at time zero with no events.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule<F: FnOnce(&mut Simulator) + 'static>(&mut self, at: SimTime, event: F) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(Reverse(Scheduled {
+            time: at,
+            seq: self.seq,
+            run: Box::new(event),
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a relative delay in seconds.
+    pub fn schedule_in<F: FnOnce(&mut Simulator) + 'static>(&mut self, secs: f64, event: F) {
+        self.schedule(self.now.after_secs(secs), event);
+    }
+
+    /// Runs until the event queue drains; returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.run)(self);
+        }
+        self.now
+    }
+
+    /// Runs until `deadline` (events after it stay queued).
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(head_time) = self.queue.peek().map(|Reverse(s)| s.time) {
+            if head_time > deadline {
+                break;
+            }
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                break;
+            };
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.run)(self);
+        }
+        self.now = self.now.max(deadline);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulator::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for &t in &[3u64, 1, 2] {
+            let l = log.clone();
+            sim.schedule(SimTime::from_nanos(t), move |_| l.borrow_mut().push(t));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut sim = Simulator::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for i in 0..5u32 {
+            let l = log.clone();
+            sim.schedule(SimTime::from_nanos(7), move |_| l.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Simulator::new();
+        let log: Rc<RefCell<Vec<f64>>> = Rc::default();
+        let l = log.clone();
+        sim.schedule_in(1.0, move |sim| {
+            l.borrow_mut().push(sim.now().as_secs_f64());
+            let l2 = l.clone();
+            sim.schedule_in(2.0, move |sim| {
+                l2.borrow_mut().push(sim.now().as_secs_f64());
+            });
+        });
+        let end = sim.run();
+        assert_eq!(log.borrow().len(), 2);
+        assert!((end.as_secs_f64() - 3.0).abs() < 1e-9);
+        assert_eq!(sim.executed(), 2);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulator::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for &t in &[1u64, 5, 9] {
+            let l = log.clone();
+            sim.schedule(SimTime::from_secs_f64(t as f64), move |_| {
+                l.borrow_mut().push(t)
+            });
+        }
+        sim.run_until(SimTime::from_secs_f64(6.0));
+        assert_eq!(*log.borrow(), vec![1, 5]);
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_in(5.0, |_| {});
+        sim.run();
+        sim.schedule(SimTime::from_secs_f64(1.0), |_| {});
+    }
+}

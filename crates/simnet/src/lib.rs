@@ -1,0 +1,29 @@
+//! # sieve-simnet — edge/cloud dataflow and network simulation
+//!
+//! The deployment substrate of the SiEVE reproduction, standing in for the
+//! paper's Apache NiFi instances, Echo orchestration, and traffic-shaped
+//! 30 Mbps WAN:
+//!
+//! * [`topology`] — nodes (camera/edge/cloud) and links with bandwidth and
+//!   latency, including the paper's testbed shape;
+//! * [`pipeline`] — an exact tandem-queue simulator for linear dataflows,
+//!   cheap enough to replay millions of frames with calibrated costs;
+//! * [`des`] — a general discrete-event engine for non-linear scenarios;
+//! * [`live`] — a threaded runtime (crossbeam channels, back-pressure,
+//!   bandwidth throttling) that actually executes a pipeline;
+//! * [`calibrate`] — measuring real per-operation costs to feed the
+//!   simulators.
+
+pub mod calibrate;
+pub mod des;
+pub mod live;
+pub mod pipeline;
+pub mod time;
+pub mod topology;
+
+pub use calibrate::{measure_secs, CostProfile};
+pub use des::Simulator;
+pub use live::{run_live, LiveItem, LiveReport, LiveStage};
+pub use pipeline::{ItemResult, Pipeline, PipelineReport, StageSpec, StepWork};
+pub use time::SimTime;
+pub use topology::{Link, Node, ThreeTier};

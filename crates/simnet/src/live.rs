@@ -1,0 +1,260 @@
+//! A live threaded dataflow runtime.
+//!
+//! The discrete-event pipeline in [`crate::pipeline`] answers "what would
+//! this deployment do at scale"; this module actually *runs* a pipeline:
+//! one OS thread per stage, bounded crossbeam channels between them (NiFi's
+//! back-pressured queues), and an optional bandwidth throttle per stage to
+//! emulate a shaped link. Used by the examples and integration tests to
+//! demonstrate a real end-to-end flow.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// An item flowing through the live pipeline.
+#[derive(Debug, Clone)]
+pub struct LiveItem {
+    /// Sequence number.
+    pub id: u64,
+    /// Payload (opaque to the runtime; its length drives throttling).
+    pub payload: Vec<u8>,
+    /// Free-form tag (e.g. frame index) carried along.
+    pub tag: u64,
+}
+
+/// A stage: a handler plus an optional bandwidth throttle applied to the
+/// *output* payload.
+pub struct LiveStage {
+    /// Stage name for the report.
+    pub name: String,
+    /// Transformation; returning `None` drops the item (filtering).
+    pub handler: Box<dyn FnMut(LiveItem) -> Option<LiveItem> + Send>,
+    /// If set, emitting an item of `n` bytes takes at least `n*8/bps`
+    /// seconds, emulating a link of that bandwidth.
+    pub throttle_bps: Option<f64>,
+}
+
+impl std::fmt::Debug for LiveStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveStage")
+            .field("name", &self.name)
+            .field("throttle_bps", &self.throttle_bps)
+            .finish()
+    }
+}
+
+impl LiveStage {
+    /// A plain compute stage.
+    pub fn compute(
+        name: impl Into<String>,
+        handler: impl FnMut(LiveItem) -> Option<LiveItem> + Send + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            handler: Box::new(handler),
+            throttle_bps: None,
+        }
+    }
+
+    /// A link stage: passes items through at `bandwidth_bps`.
+    pub fn link(name: impl Into<String>, bandwidth_bps: f64) -> Self {
+        Self {
+            name: name.into(),
+            handler: Box::new(Some),
+            throttle_bps: Some(bandwidth_bps),
+        }
+    }
+}
+
+/// Outcome of a live pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveReport {
+    /// Items that reached the sink.
+    pub delivered: u64,
+    /// Items dropped by stage handlers.
+    pub dropped: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Per-stage output counts.
+    pub stage_outputs: Vec<u64>,
+    /// Bytes that left the final stage.
+    pub delivered_bytes: u64,
+}
+
+impl LiveReport {
+    /// Delivered items per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.delivered as f64 / secs
+        }
+    }
+}
+
+/// Runs `items` through `stages` with bounded channels of `capacity`.
+/// Blocks until every item has drained; returns the report.
+///
+/// # Panics
+///
+/// Panics if `stages` is empty, `capacity` is zero, or a stage thread
+/// panics.
+pub fn run_live(
+    stages: Vec<LiveStage>,
+    items: Vec<LiveItem>,
+    capacity: usize,
+) -> LiveReport {
+    assert!(!stages.is_empty(), "live pipeline needs stages");
+    assert!(capacity > 0, "channel capacity must be positive");
+    let n = stages.len();
+    let counters: Vec<Arc<Mutex<u64>>> = (0..n).map(|_| Arc::new(Mutex::new(0))).collect();
+    let dropped = Arc::new(Mutex::new(0u64));
+
+    let (first_tx, mut prev_rx) = bounded::<LiveItem>(capacity);
+    let mut handles = Vec::new();
+    for (i, stage) in stages.into_iter().enumerate() {
+        let (tx, rx) = bounded::<LiveItem>(capacity);
+        let counter = counters[i].clone();
+        let drop_counter = dropped.clone();
+        handles.push(thread::spawn(move || {
+            stage_loop(stage, prev_rx, tx, counter, drop_counter);
+        }));
+        prev_rx = rx;
+    }
+    let sink_rx: Receiver<LiveItem> = prev_rx;
+
+    let t0 = Instant::now();
+    let feeder = thread::spawn(move || {
+        for item in items {
+            first_tx.send(item).expect("pipeline hung up");
+        }
+        // Dropping first_tx closes the chain.
+    });
+    let mut delivered = 0u64;
+    let mut delivered_bytes = 0u64;
+    for item in sink_rx.iter() {
+        delivered += 1;
+        delivered_bytes += item.payload.len() as u64;
+    }
+    let wall = t0.elapsed();
+    feeder.join().expect("feeder panicked");
+    for h in handles {
+        h.join().expect("stage panicked");
+    }
+    let dropped_count = *dropped.lock();
+    let stage_outputs = counters.iter().map(|c| *c.lock()).collect();
+    LiveReport {
+        delivered,
+        dropped: dropped_count,
+        wall,
+        stage_outputs,
+        delivered_bytes,
+    }
+}
+
+fn stage_loop(
+    mut stage: LiveStage,
+    rx: Receiver<LiveItem>,
+    tx: Sender<LiveItem>,
+    counter: Arc<Mutex<u64>>,
+    dropped: Arc<Mutex<u64>>,
+) {
+    for item in rx.iter() {
+        match (stage.handler)(item) {
+            Some(out) => {
+                if let Some(bps) = stage.throttle_bps {
+                    let secs = out.payload.len() as f64 * 8.0 / bps;
+                    thread::sleep(Duration::from_secs_f64(secs));
+                }
+                *counter.lock() += 1;
+                if tx.send(out).is_err() {
+                    return; // downstream hung up
+                }
+            }
+            None => {
+                *dropped.lock() += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: u64, bytes: usize) -> Vec<LiveItem> {
+        (0..n)
+            .map(|id| LiveItem {
+                id,
+                payload: vec![0u8; bytes],
+                tag: id,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_items_flow_through_identity_stage() {
+        let stages = vec![LiveStage::compute("id", Some)];
+        let report = run_live(stages, items(50, 10), 8);
+        assert_eq!(report.delivered, 50);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.stage_outputs, vec![50]);
+        assert_eq!(report.delivered_bytes, 500);
+    }
+
+    #[test]
+    fn filtering_stage_drops_items() {
+        let stages = vec![LiveStage::compute("even-only", |it: LiveItem| {
+            if it.id % 2 == 0 {
+                Some(it)
+            } else {
+                None
+            }
+        })];
+        let report = run_live(stages, items(10, 1), 4);
+        assert_eq!(report.delivered, 5);
+        assert_eq!(report.dropped, 5);
+    }
+
+    #[test]
+    fn stages_compose_in_order() {
+        let stages = vec![
+            LiveStage::compute("tag+1", |mut it: LiveItem| {
+                it.tag += 1;
+                Some(it)
+            }),
+            LiveStage::compute("tag*2", |mut it: LiveItem| {
+                it.tag *= 2;
+                Some(it)
+            }),
+        ];
+        let report = run_live(stages, items(3, 1), 2);
+        assert_eq!(report.delivered, 3);
+        // (tag+1)*2 for tag=0,1,2 -> 2,4,6 -- order checked via count only;
+        // per-item verification is covered by the integration tests.
+        assert_eq!(report.stage_outputs, vec![3, 3]);
+    }
+
+    #[test]
+    fn throttle_bounds_throughput() {
+        // 10 items of 10_000 bytes through a 800_000 bps link ->
+        // 0.1 s each -> at least 1 second total.
+        let stages = vec![LiveStage::link("wan", 800_000.0)];
+        let report = run_live(stages, items(10, 10_000), 2);
+        assert!(
+            report.wall >= Duration::from_millis(900),
+            "throttle too weak: {:?}",
+            report.wall
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs stages")]
+    fn empty_pipeline_rejected() {
+        let _ = run_live(vec![], vec![], 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Bit-level reader and writer used by the entropy coder.
+//!
+//! Bits are packed MSB-first into bytes, the convention used by H.26x
+//! bitstreams. The writer produces a `Vec<u8>`; the reader consumes a byte
+//! slice. Exp-Golomb helpers live here because both the encoder and decoder
+//! need them for header fields, motion vectors, and coefficient levels.
+
+/// Error returned when a [`BitReader`] runs out of input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadBitsError;
+
+impl std::fmt::Display for ReadBitsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bitstream exhausted")
+    }
+}
+
+impl std::error::Error for ReadBitsError {}
+
+/// MSB-first bit writer.
+///
+/// ```
+/// use sieve_video::bitio::{BitReader, BitWriter};
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_ue(17);
+/// let bytes = w.finish();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3).unwrap(), 0b101);
+/// assert_eq!(r.read_ue().unwrap(), 17);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    cur: u8,
+    nbits: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `count` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u8) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            self.cur = (self.cur << 1) | bit;
+            self.nbits += 1;
+            if self.nbits == 8 {
+                self.buf.push(self.cur);
+                self.cur = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Writes a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Writes an unsigned Exp-Golomb code (as in H.264 `ue(v)`).
+    pub fn write_ue(&mut self, value: u64) {
+        let v = value + 1;
+        let nbits = 64 - v.leading_zeros() as u8;
+        self.write_bits(0, nbits - 1);
+        self.write_bits(v, nbits);
+    }
+
+    /// Writes a signed Exp-Golomb code (as in H.264 `se(v)`).
+    pub fn write_se(&mut self, value: i64) {
+        let mapped = if value > 0 {
+            (value as u64) * 2 - 1
+        } else {
+            (-value as u64) * 2
+        };
+        self.write_ue(mapped);
+    }
+
+    /// Number of complete bytes plus any partial byte currently buffered.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.nbits as usize
+    }
+
+    /// Pads with zero bits to a byte boundary and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.cur <<= 8 - self.nbits;
+            self.buf.push(self.cur);
+        }
+        self.buf
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_read(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads `count` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadBitsError`] if fewer than `count` bits remain.
+    pub fn read_bits(&mut self, count: u8) -> Result<u64, ReadBitsError> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        if self.pos + count as usize > self.data.len() * 8 {
+            return Err(ReadBitsError);
+        }
+        let mut out = 0u64;
+        for _ in 0..count {
+            let byte = self.data[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | bit as u64;
+            self.pos += 1;
+        }
+        Ok(out)
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadBitsError`] at end of input.
+    pub fn read_bit(&mut self) -> Result<bool, ReadBitsError> {
+        Ok(self.read_bits(1)? == 1)
+    }
+
+    /// Reads an unsigned Exp-Golomb code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadBitsError`] on truncated input.
+    pub fn read_ue(&mut self) -> Result<u64, ReadBitsError> {
+        let mut zeros = 0u8;
+        while !self.read_bit()? {
+            zeros += 1;
+            if zeros > 63 {
+                return Err(ReadBitsError);
+            }
+        }
+        let rest = if zeros == 0 {
+            0
+        } else {
+            self.read_bits(zeros)?
+        };
+        // (1 << zeros) + rest - 1 never underflows: the leading 1 bit
+        // guarantees the sum is at least 1.
+        Ok((1u64 << zeros) + rest - 1)
+    }
+
+    /// Reads a signed Exp-Golomb code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadBitsError`] on truncated input.
+    pub fn read_se(&mut self) -> Result<i64, ReadBitsError> {
+        let v = self.read_ue()?;
+        if v % 2 == 1 {
+            Ok(((v + 1) / 2) as i64)
+        } else {
+            Ok(-((v / 2) as i64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1101, 4);
+        w.write_bit(true);
+        w.write_bits(0xABCD, 16);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1101);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(16).unwrap(), 0xABCD);
+    }
+
+    #[test]
+    fn ue_known_values() {
+        // Classic Exp-Golomb table: 0 -> "1", 1 -> "010", 2 -> "011".
+        let mut w = BitWriter::new();
+        w.write_ue(0);
+        w.write_ue(1);
+        w.write_ue(2);
+        let bytes = w.finish();
+        // 1 010 011 padded -> 1010_0110
+        assert_eq!(bytes, vec![0b1010_0110]);
+    }
+
+    #[test]
+    fn ue_roundtrip_many() {
+        let mut w = BitWriter::new();
+        let values: Vec<u64> = (0..200).chain([1 << 20, (1 << 33) + 7]).collect();
+        for &v in &values {
+            w.write_ue(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.read_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn se_roundtrip() {
+        let mut w = BitWriter::new();
+        let values: Vec<i64> = (-40..=40).chain([-100_000, 100_000]).collect();
+        for &v in &values {
+            w.write_se(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.read_se().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn reader_errors_at_end() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0, 8);
+        assert_eq!(w.bit_len(), 11);
+        assert_eq!(w.finish().len(), 2);
+    }
+}

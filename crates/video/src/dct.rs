@@ -1,0 +1,156 @@
+//! 8x8 type-II DCT and its inverse, the transform used for both intra blocks
+//! and inter residuals.
+//!
+//! The implementation is the separable floating-point orthonormal DCT; speed
+//! is adequate because the surrounding codec dominates on memory traffic, and
+//! the orthonormal form keeps quantization error analysis simple.
+
+/// Number of samples along one side of a transform block.
+pub const BLOCK: usize = 8;
+
+/// Number of samples in a transform block.
+pub const BLOCK_LEN: usize = BLOCK * BLOCK;
+
+fn basis() -> &'static [[f32; BLOCK]; BLOCK] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; BLOCK]; BLOCK]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0f32; BLOCK]; BLOCK];
+        for (k, row) in b.iter_mut().enumerate() {
+            let scale = if k == 0 {
+                (1.0 / BLOCK as f32).sqrt()
+            } else {
+                (2.0 / BLOCK as f32).sqrt()
+            };
+            for (n, v) in row.iter_mut().enumerate() {
+                *v = scale
+                    * ((std::f32::consts::PI / BLOCK as f32)
+                        * (n as f32 + 0.5)
+                        * k as f32)
+                        .cos();
+            }
+        }
+        b
+    })
+}
+
+/// Forward 8x8 DCT-II of spatial samples (level-shifted by the caller if
+/// desired). `input` and `output` are row-major 64-element blocks.
+pub fn forward(input: &[i32; BLOCK_LEN], output: &mut [f32; BLOCK_LEN]) {
+    let b = basis();
+    // Rows.
+    let mut tmp = [0f32; BLOCK_LEN];
+    for y in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0f32;
+            for n in 0..BLOCK {
+                acc += input[y * BLOCK + n] as f32 * b[k][n];
+            }
+            tmp[y * BLOCK + k] = acc;
+        }
+    }
+    // Columns.
+    for x in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0f32;
+            for n in 0..BLOCK {
+                acc += tmp[n * BLOCK + x] * b[k][n];
+            }
+            output[k * BLOCK + x] = acc;
+        }
+    }
+}
+
+/// Inverse 8x8 DCT-II (i.e. DCT-III), producing spatial samples rounded to
+/// integers.
+pub fn inverse(input: &[f32; BLOCK_LEN], output: &mut [i32; BLOCK_LEN]) {
+    let b = basis();
+    // Columns.
+    let mut tmp = [0f32; BLOCK_LEN];
+    for x in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc = 0f32;
+            for k in 0..BLOCK {
+                acc += input[k * BLOCK + x] * b[k][n];
+            }
+            tmp[n * BLOCK + x] = acc;
+        }
+    }
+    // Rows.
+    for y in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc = 0f32;
+            for k in 0..BLOCK {
+                acc += tmp[y * BLOCK + k] * b[k][n];
+            }
+            output[y * BLOCK + n] = acc.round() as i32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_only_for_flat_block() {
+        let input = [100i32; BLOCK_LEN];
+        let mut coeffs = [0f32; BLOCK_LEN];
+        forward(&input, &mut coeffs);
+        assert!((coeffs[0] - 800.0).abs() < 1e-2, "DC = 8 * value");
+        for &c in &coeffs[1..] {
+            assert!(c.abs() < 1e-3, "AC coefficients must vanish, got {c}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact_within_rounding() {
+        let mut input = [0i32; BLOCK_LEN];
+        for (i, v) in input.iter_mut().enumerate() {
+            *v = ((i * 37) % 256) as i32 - 128;
+        }
+        let mut coeffs = [0f32; BLOCK_LEN];
+        let mut back = [0i32; BLOCK_LEN];
+        forward(&input, &mut coeffs);
+        inverse(&coeffs, &mut back);
+        for (a, b) in input.iter().zip(&back) {
+            assert!((a - b).abs() <= 1, "roundtrip error too large: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut input = [0i32; BLOCK_LEN];
+        for (i, v) in input.iter_mut().enumerate() {
+            *v = (((i * 97) % 200) as i32) - 100;
+        }
+        let mut coeffs = [0f32; BLOCK_LEN];
+        forward(&input, &mut coeffs);
+        let spatial: f64 = input.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        let freq: f64 = coeffs.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        assert!(
+            (spatial - freq).abs() / spatial.max(1.0) < 1e-4,
+            "orthonormal DCT must preserve energy"
+        );
+    }
+
+    #[test]
+    fn linearity() {
+        let a = [10i32; BLOCK_LEN];
+        let mut b = [0i32; BLOCK_LEN];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = (i % 16) as i32;
+        }
+        let mut sum = [0i32; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            sum[i] = a[i] + b[i];
+        }
+        let (mut ca, mut cb, mut cs) = ([0f32; BLOCK_LEN], [0f32; BLOCK_LEN], [0f32; BLOCK_LEN]);
+        forward(&a, &mut ca);
+        forward(&b, &mut cb);
+        forward(&sum, &mut cs);
+        for i in 0..BLOCK_LEN {
+            assert!((ca[i] + cb[i] - cs[i]).abs() < 1e-2);
+        }
+    }
+}

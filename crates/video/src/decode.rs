@@ -1,0 +1,367 @@
+//! The video decoder: the full (expensive) pipeline plus independent I-frame
+//! decoding.
+//!
+//! Two entry points matter for SiEVE:
+//!
+//! * [`Decoder::decode_frame`] — the classical path: every frame, I or P, is
+//!   entropy-decoded, dequantized, inverse-transformed and (for P-frames)
+//!   motion-compensated. Baseline filters (MSE/SIFT) must run this for every
+//!   frame before they can compare pixels.
+//! * [`Decoder::decode_iframe`] — decodes a single I-frame with no reference
+//!   state, the way a JPEG still is decoded. This is all the I-frame seeker
+//!   ever pays for.
+
+use crate::bitio::{BitReader, ReadBitsError};
+use crate::dct;
+use crate::encode::{EncodedFrame, FrameType};
+use crate::entropy;
+use crate::frame::{Frame, Plane, Resolution};
+use crate::motion::{MotionVector, MB};
+use crate::quant::QuantTable;
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bitstream ended early or contained an invalid code.
+    Bitstream,
+    /// A P-frame was submitted before any I-frame established a reference.
+    MissingReference,
+    /// [`Decoder::decode_iframe`] was handed a frame that is not an I-frame.
+    NotAnIFrame,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Bitstream => write!(f, "malformed or truncated bitstream"),
+            DecodeError::MissingReference => {
+                write!(f, "P-frame received before any I-frame reference")
+            }
+            DecodeError::NotAnIFrame => write!(f, "independent decode requires an I-frame"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<ReadBitsError> for DecodeError {
+    fn from(_: ReadBitsError) -> Self {
+        DecodeError::Bitstream
+    }
+}
+
+/// Stateful decoder mirroring the [`crate::encode::Encoder`] closed loop.
+#[derive(Debug)]
+pub struct Decoder {
+    resolution: Resolution,
+    luma_q: QuantTable,
+    chroma_q: QuantTable,
+    reference: Option<Frame>,
+}
+
+impl Decoder {
+    /// Creates a decoder for a stream of `resolution` encoded at `quality`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` is outside `1..=100`.
+    pub fn new(resolution: Resolution, quality: u8) -> Self {
+        Self {
+            resolution,
+            luma_q: QuantTable::luma(quality),
+            chroma_q: QuantTable::chroma(quality),
+            reference: None,
+        }
+    }
+
+    /// Decodes the next frame in stream order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::MissingReference`] if a P-frame arrives before
+    /// any I-frame, or [`DecodeError::Bitstream`] on malformed payloads.
+    pub fn decode_frame(&mut self, ef: &EncodedFrame) -> Result<Frame, DecodeError> {
+        let frame = match ef.frame_type {
+            FrameType::I => decode_i(self.resolution, &self.luma_q, &self.chroma_q, &ef.data)?,
+            FrameType::P => {
+                let reference = self
+                    .reference
+                    .as_ref()
+                    .ok_or(DecodeError::MissingReference)?;
+                decode_p(
+                    self.resolution,
+                    &self.luma_q,
+                    &self.chroma_q,
+                    reference,
+                    &ef.data,
+                )?
+            }
+        };
+        self.reference = Some(frame.clone());
+        Ok(frame)
+    }
+
+    /// Decodes a single I-frame with no decoder state, exactly like a JPEG
+    /// still — the operation the SiEVE I-frame seeker performs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Bitstream`] on malformed payloads. The caller
+    /// is responsible for passing I-frame payloads; P-frame payloads are not
+    /// self-describing and will either fail or decode to garbage.
+    pub fn decode_iframe(
+        resolution: Resolution,
+        quality: u8,
+        data: &[u8],
+    ) -> Result<Frame, DecodeError> {
+        let luma_q = QuantTable::luma(quality);
+        let chroma_q = QuantTable::chroma(quality);
+        decode_i(resolution, &luma_q, &chroma_q, data)
+    }
+
+    /// Resets the reference state (e.g. before seeking to a new GOP).
+    pub fn reset(&mut self) {
+        self.reference = None;
+    }
+}
+
+fn decode_i(
+    resolution: Resolution,
+    luma_q: &QuantTable,
+    chroma_q: &QuantTable,
+    data: &[u8],
+) -> Result<Frame, DecodeError> {
+    let mut r = BitReader::new(data);
+    let mut frame = Frame::grey(resolution);
+    decode_plane_intra(&mut r, luma_q, frame.y_mut())?;
+    decode_plane_intra(&mut r, chroma_q, frame.u_mut())?;
+    decode_plane_intra(&mut r, chroma_q, frame.v_mut())?;
+    Ok(frame)
+}
+
+fn decode_plane_intra(
+    r: &mut BitReader<'_>,
+    q: &QuantTable,
+    plane: &mut Plane,
+) -> Result<(), DecodeError> {
+    let bcols = plane.width().div_ceil(8);
+    let brows = plane.height().div_ceil(8);
+    let mut prev_dc = 0i32;
+    for by in 0..brows {
+        for bx in 0..bcols {
+            let mut levels = entropy::decode_block(r)?;
+            levels[0] += prev_dc;
+            prev_dc = levels[0];
+            let mut deq = [0f32; 64];
+            q.dequantize(&levels, &mut deq);
+            let mut rec = [0i32; 64];
+            dct::inverse(&deq, &mut rec);
+            for v in rec.iter_mut() {
+                *v += 128;
+            }
+            plane.put_block8(bx, by, &rec);
+        }
+    }
+    Ok(())
+}
+
+fn decode_p(
+    resolution: Resolution,
+    luma_q: &QuantTable,
+    chroma_q: &QuantTable,
+    reference: &Frame,
+    data: &[u8],
+) -> Result<Frame, DecodeError> {
+    let mut r = BitReader::new(data);
+    let mut frame = Frame::grey(resolution);
+    let mb_cols = resolution.mb_cols();
+    let mb_rows = resolution.mb_rows();
+    for my in 0..mb_rows {
+        for mx in 0..mb_cols {
+            let x = mx * MB;
+            let y = my * MB;
+            let coded = r.read_bit()?;
+            if !coded {
+                // SKIP macroblock: copy co-located.
+                copy_mb_zero(reference, &mut frame, x, y);
+                continue;
+            }
+            let dx = r.read_se()?;
+            let dy = r.read_se()?;
+            let mv = MotionVector {
+                dx: dx as i16,
+                dy: dy as i16,
+            };
+            // Luma 2x2 blocks.
+            for by in 0..2 {
+                for bx in 0..2 {
+                    decode_inter_block(&mut r, luma_q, reference.y(), frame.y_mut(), x / 8 + bx, y / 8 + by, mv)?;
+                }
+            }
+            let cmv = MotionVector {
+                dx: mv.dx / 2,
+                dy: mv.dy / 2,
+            };
+            decode_inter_block(&mut r, chroma_q, reference.u(), frame.u_mut(), x / 16, y / 16, cmv)?;
+            decode_inter_block(&mut r, chroma_q, reference.v(), frame.v_mut(), x / 16, y / 16, cmv)?;
+        }
+    }
+    Ok(frame)
+}
+
+fn copy_mb_zero(reference: &Frame, frame: &mut Frame, x: usize, y: usize) {
+    for dy in 0..MB {
+        for dx in 0..MB {
+            let v = reference
+                .y()
+                .sample_clamped((x + dx) as i64, (y + dy) as i64);
+            frame.y_mut().put(x + dx, y + dy, v);
+        }
+    }
+    let (cx, cy) = (x / 2, y / 2);
+    for dy in 0..MB / 2 {
+        for dx in 0..MB / 2 {
+            let u = reference
+                .u()
+                .sample_clamped((cx + dx) as i64, (cy + dy) as i64);
+            let v = reference
+                .v()
+                .sample_clamped((cx + dx) as i64, (cy + dy) as i64);
+            frame.u_mut().put(cx + dx, cy + dy, u);
+            frame.v_mut().put(cx + dx, cy + dy, v);
+        }
+    }
+}
+
+fn decode_inter_block(
+    r: &mut BitReader<'_>,
+    q: &QuantTable,
+    reference: &Plane,
+    out: &mut Plane,
+    bx: usize,
+    by: usize,
+    mv: MotionVector,
+) -> Result<(), DecodeError> {
+    let pred = crate::encode::predict_block8(reference, bx, by, mv);
+    let coded = r.read_bit()?;
+    let mut rec = pred;
+    if coded {
+        let levels = entropy::decode_block(r)?;
+        let mut deq = [0f32; 64];
+        q.dequantize(&levels, &mut deq);
+        let mut resid = [0i32; 64];
+        dct::inverse(&deq, &mut resid);
+        for i in 0..64 {
+            rec[i] = pred[i] + resid[i];
+        }
+    }
+    out.put_block8(bx, by, &rec);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{Encoder, EncoderConfig};
+
+    fn moving_square_frames(res: Resolution, n: usize) -> Vec<Frame> {
+        (0..n)
+            .map(|i| {
+                let mut f = Frame::grey(res);
+                let w = res.width() as usize;
+                let h = res.height() as usize;
+                for y in 0..h {
+                    for x in 0..w {
+                        f.y_mut().put(x, y, ((x * 5 + y * 3) % 96 + 60) as u8);
+                    }
+                }
+                let ox = (i * 2) % (w - 16);
+                for y in 8..24.min(h) {
+                    for x in ox..ox + 16 {
+                        f.y_mut().put(x, y, 220);
+                        f.u_mut().put(x / 2, y / 2, 90);
+                    }
+                }
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encoder_decoder_closed_loop_no_drift() {
+        let res = Resolution::new(96, 64);
+        let frames = moving_square_frames(res, 12);
+        let cfg = EncoderConfig::new(100, 0).with_quality(85);
+        let mut enc = Encoder::new(res, cfg);
+        let mut dec = Decoder::new(res, 85);
+        for (i, f) in frames.iter().enumerate() {
+            let ef = enc.encode_frame(f);
+            let out = dec.decode_frame(&ef).expect("decode");
+            let psnr = f.psnr_luma(&out);
+            assert!(psnr > 30.0, "frame {i}: PSNR {psnr} too low (drift?)");
+        }
+    }
+
+    #[test]
+    fn p_frame_without_reference_errors() {
+        let res = Resolution::new(32, 32);
+        let mut dec = Decoder::new(res, 75);
+        let fake = EncodedFrame {
+            frame_type: FrameType::P,
+            data: vec![0u8; 4],
+        };
+        assert_eq!(
+            dec.decode_frame(&fake).unwrap_err(),
+            DecodeError::MissingReference
+        );
+    }
+
+    #[test]
+    fn truncated_iframe_errors() {
+        let res = Resolution::new(32, 32);
+        let mut enc = Encoder::new(res, EncoderConfig::new(10, 40));
+        let ef = enc.encode_frame(&Frame::grey(res));
+        let cut = &ef.data[..ef.data.len() / 2];
+        assert_eq!(
+            Decoder::decode_iframe(res, 75, cut).unwrap_err(),
+            DecodeError::Bitstream
+        );
+    }
+
+    #[test]
+    fn independent_iframe_decode_matches_streaming_decode() {
+        let res = Resolution::new(64, 48);
+        let frames = moving_square_frames(res, 3);
+        let mut enc = Encoder::new(res, EncoderConfig::new(100, 40));
+        let efs: Vec<_> = frames.iter().map(|f| enc.encode_frame(f)).collect();
+        assert_eq!(efs[0].frame_type, FrameType::I);
+        let mut dec = Decoder::new(res, 75);
+        let streamed = dec.decode_frame(&efs[0]).unwrap();
+        let independent = Decoder::decode_iframe(res, 75, &efs[0].data).unwrap();
+        assert_eq!(streamed, independent);
+    }
+
+    #[test]
+    fn reset_clears_reference() {
+        let res = Resolution::new(32, 32);
+        let mut enc = Encoder::new(res, EncoderConfig::new(100, 0));
+        let f = Frame::grey(res);
+        let i = enc.encode_frame(&f);
+        let p = enc.encode_frame(&f);
+        let mut dec = Decoder::new(res, 75);
+        dec.decode_frame(&i).unwrap();
+        dec.decode_frame(&p).unwrap();
+        dec.reset();
+        assert_eq!(
+            dec.decode_frame(&p).unwrap_err(),
+            DecodeError::MissingReference
+        );
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(DecodeError::Bitstream.to_string().contains("bitstream"));
+        assert!(DecodeError::MissingReference.to_string().contains("I-frame"));
+        assert!(DecodeError::NotAnIFrame.to_string().contains("I-frame"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Full-reference quality metrics: PSNR lives on [`crate::frame::Frame`];
+//! this module adds SSIM (structural similarity), the metric codec work
+//! actually reports, used by the round-trip tests and the quality ablation.
+
+use crate::frame::{Frame, Plane};
+
+const C1: f64 = 6.5025; // (0.01 * 255)^2
+const C2: f64 = 58.5225; // (0.03 * 255)^2
+
+/// Mean SSIM between two luma planes over 8x8 windows (stride 4).
+///
+/// Returns a value in `[-1, 1]`; 1 means identical. This is the standard
+/// windowed SSIM with uniform (box) weighting — adequate for codec
+/// regression checks.
+///
+/// # Panics
+///
+/// Panics if the plane dimensions differ or are smaller than one window.
+pub fn ssim_plane(a: &Plane, b: &Plane) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "SSIM requires equal dimensions"
+    );
+    assert!(
+        a.width() >= 8 && a.height() >= 8,
+        "SSIM needs at least one 8x8 window"
+    );
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    let mut y = 0;
+    while y + 8 <= a.height() {
+        let mut x = 0;
+        while x + 8 <= a.width() {
+            total += ssim_window(a, b, x, y);
+            count += 1;
+            x += 4;
+        }
+        y += 4;
+    }
+    total / count as f64
+}
+
+/// SSIM of one 8x8 window at `(x, y)`.
+fn ssim_window(a: &Plane, b: &Plane, x: usize, y: usize) -> f64 {
+    let n = 64.0;
+    let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0f64, 0f64, 0f64, 0f64, 0f64);
+    for dy in 0..8 {
+        for dx in 0..8 {
+            let va = a.sample(x + dx, y + dy) as f64;
+            let vb = b.sample(x + dx, y + dy) as f64;
+            sa += va;
+            sb += vb;
+            saa += va * va;
+            sbb += vb * vb;
+            sab += va * vb;
+        }
+    }
+    let mu_a = sa / n;
+    let mu_b = sb / n;
+    let var_a = saa / n - mu_a * mu_a;
+    let var_b = sbb / n - mu_b * mu_b;
+    let cov = sab / n - mu_a * mu_b;
+    ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+        / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2))
+}
+
+/// Mean luma SSIM between two frames.
+///
+/// # Panics
+///
+/// Panics if the resolutions differ.
+pub fn ssim_luma(a: &Frame, b: &Frame) -> f64 {
+    ssim_plane(a.y(), b.y())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{Encoder, EncoderConfig};
+    use crate::frame::Resolution;
+
+    fn textured(res: Resolution, phase: usize) -> Frame {
+        let mut f = Frame::grey(res);
+        let (w, h) = (res.width() as usize, res.height() as usize);
+        for y in 0..h {
+            for x in 0..w {
+                f.y_mut()
+                    .put(x, y, (((x + phase) * 7 + y * 13) % 200 + 20) as u8);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn identical_frames_score_one() {
+        let f = textured(Resolution::new(32, 32), 0);
+        assert!((ssim_luma(&f, &f) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrelated_frames_score_low() {
+        let res = Resolution::new(32, 32);
+        let a = textured(res, 0);
+        let mut b = Frame::grey(res);
+        for y in 0..32usize {
+            for x in 0..32usize {
+                b.y_mut().put(x, y, (((x * 31) ^ (y * 17)) % 256) as u8);
+            }
+        }
+        assert!(ssim_luma(&a, &b) < 0.5);
+    }
+
+    #[test]
+    fn ssim_orders_with_distortion() {
+        let res = Resolution::new(48, 48);
+        let f = textured(res, 0);
+        let mut slight = f.clone();
+        for v in slight.y_mut().data_mut().iter_mut().step_by(9) {
+            *v = v.saturating_add(4);
+        }
+        let mut heavy = f.clone();
+        for v in heavy.y_mut().data_mut().iter_mut().step_by(2) {
+            *v = v.saturating_add(40);
+        }
+        let s_slight = ssim_luma(&f, &slight);
+        let s_heavy = ssim_luma(&f, &heavy);
+        assert!(s_slight > s_heavy, "{s_slight} vs {s_heavy}");
+        assert!(s_slight > 0.9);
+    }
+
+    #[test]
+    fn ssim_symmetric() {
+        let res = Resolution::new(32, 32);
+        let a = textured(res, 0);
+        let b = textured(res, 3);
+        assert!((ssim_luma(&a, &b) - ssim_luma(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn codec_quality_sweep_monotone_in_ssim() {
+        // Higher encode quality must never reduce SSIM.
+        let res = Resolution::new(64, 48);
+        let f = textured(res, 1);
+        let mut prev = 0.0f64;
+        for q in [30u8, 60, 90] {
+            let mut enc = Encoder::new(res, EncoderConfig::new(10, 0).with_quality(q));
+            let ef = enc.encode_frame(&f);
+            let dec = crate::decode::Decoder::decode_iframe(res, q, &ef.data).unwrap();
+            let s = ssim_luma(&f, &dec);
+            assert!(
+                s >= prev - 1e-6,
+                "SSIM must not fall as quality rises: q={q}, {s} < {prev}"
+            );
+            prev = s;
+        }
+        assert!(prev > 0.9, "quality 90 should reconstruct well: {prev}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensions")]
+    fn rejects_mismatched_sizes() {
+        let a = Frame::grey(Resolution::new(16, 16));
+        let b = Frame::grey(Resolution::new(32, 32));
+        let _ = ssim_luma(&a, &b);
+    }
+}

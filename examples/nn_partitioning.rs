@@ -1,0 +1,81 @@
+//! NN layer partitioning across edge and cloud (Neurosurgeon-style).
+//!
+//! The paper's NN-deployment service can place all layers on one tier or
+//! split the network at a layer boundary. This example profiles the
+//! reference CNN and shows how the optimal split moves with WAN bandwidth:
+//! fat links favour shipping raw inputs to the fast cloud, thin links favour
+//! computing on the edge until activations shrink.
+//!
+//! Run with: `cargo run --release --example nn_partitioning`
+
+use sieve::prelude::*;
+use sieve_nn::{split_costs, Tensor};
+
+fn main() {
+    let model = reference_model(7);
+    let input_shape = [3usize, 32, 32];
+    println!(
+        "reference CNN: {} layers, {} parameters, {:.1} MFLOPs/inference\n",
+        model.len(),
+        model.param_count(),
+        model.total_flops(&input_shape) as f64 / 1e6
+    );
+
+    // Per-layer profile.
+    let shapes = model.activation_shapes(&input_shape);
+    let flops = model.layer_flops(&input_shape);
+    let bytes = model.activation_bytes(&input_shape);
+    println!("{:<4} {:<10} {:>12} {:>16}", "idx", "layer", "kFLOPs", "activation (B)");
+    println!("{:<4} {:<10} {:>12} {:>16}", "-", "input", "-", bytes[0]);
+    for (i, layer) in model.layers().iter().enumerate() {
+        println!(
+            "{:<4} {:<10} {:>12} {:>16}",
+            i,
+            layer.name(),
+            flops[i] / 1000,
+            bytes[i + 1]
+        );
+    }
+    let _ = shapes;
+
+    // Sweep WAN bandwidth and report the best split.
+    println!("\n{:>10}  {:>5}  {:>12}  {:>10}", "WAN", "split", "transfer (B)", "latency");
+    for mbps in [1.0, 5.0, 30.0, 100.0, 1000.0] {
+        let tiers = TierSpec {
+            bandwidth_bytes_per_sec: mbps * 1e6 / 8.0,
+            ..TierSpec::paper_default()
+        };
+        let best = best_split(&model, &input_shape, &tiers);
+        println!(
+            "{:>7} Mb/s  {:>5}  {:>12}  {:>8.1} ms",
+            mbps,
+            best.split,
+            best.transfer_bytes,
+            best.total_secs() * 1e3
+        );
+    }
+
+    // Show that a split execution produces the same output as monolithic.
+    let mut model = reference_model(7);
+    let input = Tensor::he_init(&input_shape, 32, 123);
+    let full = model.forward(&input);
+    let tiers = TierSpec::paper_default();
+    let best = best_split(&reference_model(7), &input_shape, &tiers);
+    let edge_out = model.forward_to(best.split, &input);
+    let cloud_out = model.forward_from(best.split, &edge_out);
+    assert_eq!(full, cloud_out);
+    println!(
+        "\nsplit execution at layer {} verified: edge half ships {} bytes, \
+         output identical to monolithic inference",
+        best.split, best.transfer_bytes
+    );
+    let costs = split_costs(&reference_model(7), &input_shape, &tiers);
+    let worst = costs
+        .iter()
+        .map(|c| c.total_secs())
+        .fold(f64::MIN, f64::max);
+    println!(
+        "best split is {:.1}x faster than the worst split point",
+        worst / best.total_secs()
+    );
+}

@@ -1,0 +1,67 @@
+//! # SiEVE — Semantically Encoded Video Analytics on Edge and Cloud
+//!
+//! A full Rust reproduction of the SiEVE system (Elgamal et al., ICDCS
+//! 2020): a 3-tier video-analytics pipeline built around **semantic video
+//! encoding** — tuning a video encoder's GOP size and scenecut threshold per
+//! camera so that I-frames land exactly on semantic events (objects entering
+//! or leaving the scene), letting the downstream pipeline analyse ~3% of
+//! frames while labelling ~100% of them correctly.
+//!
+//! This umbrella crate re-exports the workspace's subsystems:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`video`] | `sieve-video` | from-scratch block codec: semantic encoder, I-frame-seekable container, full decoder |
+//! | [`datasets`] | `sieve-datasets` | deterministic synthetic analogues of the paper's five surveillance datasets |
+//! | [`nn`] | `sieve-nn` | CNN inference/training engine + Neurosurgeon-style edge/cloud partitioning |
+//! | [`filters`] | `sieve-filters` | MSE / SIFT / uniform-sampling baselines |
+//! | [`simnet`] | `sieve-simnet` | dataflow engine, 3-tier topology, DES + live threaded runtime |
+//! | [`core`] | `sieve-core` | SiEVE itself: offline tuner, I-frame seeker, metrics, end-to-end pipelines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sieve::prelude::*;
+//!
+//! // Generate a tiny labelled surveillance feed.
+//! let video = DatasetSpec::of(DatasetId::JacksonSquare).generate(DatasetScale::Tiny);
+//! // Encode it semantically and analyse only I-frames.
+//! let encoded = EncodedVideo::encode(video.resolution(), video.fps(),
+//!                                    EncoderConfig::new(300, 200), video.frames());
+//! let mut nn = OracleDetector::for_video(&video);
+//! let result = analyze_sieve(&encoded, &mut nn).unwrap();
+//! assert!(result.sampling_rate() < 0.2);
+//! ```
+
+pub use sieve_core as core;
+pub use sieve_datasets as datasets;
+pub use sieve_filters as filters;
+pub use sieve_nn as nn;
+pub use sieve_simnet as simnet;
+pub use sieve_video as video;
+
+/// The most commonly used items across all subsystems.
+pub mod prelude {
+    pub use sieve_core::{
+        analyze_selected, analyze_sieve, f1_score, score_encoding, score_selection,
+        simulate_all, simulate_baseline, tune, AnalysisResult, Baseline, ConfigGrid,
+        DetectionQuality, IFrameSeeker, LookupTable, TuningOutcome,
+    };
+    pub use sieve_datasets::{
+        segment_events, DatasetId, DatasetScale, DatasetSpec, Event, LabelSet, ObjectClass,
+        SyntheticVideo,
+    };
+    pub use sieve_filters::{
+        calibrate_threshold, score_sequence, select_frames, ChangeDetector, MseDetector,
+        SiftDetector, UniformSampler,
+    };
+    pub use sieve_nn::{
+        best_split, reference_model, CnnDetector, ObjectDetector, OracleDetector, TierSpec,
+        TrainConfig,
+    };
+    pub use sieve_simnet::{run_live, CostProfile, LiveItem, LiveStage, ThreeTier};
+    pub use sieve_video::{
+        BitstreamStats, EncodedVideo, Encoder, EncoderConfig, Frame, FrameType, Resolution,
+        VideoIndex,
+    };
+}

@@ -1,0 +1,134 @@
+//! Failure injection: corrupted bitstreams, malformed containers, and
+//! hostile inputs must produce errors (or garbage frames), never panics or
+//! undefined behaviour in the decode path.
+
+use sieve::prelude::*;
+use sieve_video::{ContainerError, DecodeError, Decoder, EncodedVideo, VideoIndex};
+
+fn sample_video() -> EncodedVideo {
+    let video = DatasetSpec::of(DatasetId::JacksonSquare).generate(DatasetScale::Tiny);
+    EncodedVideo::encode(
+        video.resolution(),
+        video.fps(),
+        EncoderConfig::new(50, 100),
+        video.frames().take(120),
+    )
+}
+
+#[test]
+fn truncation_at_every_boundary_is_graceful() {
+    let video = sample_video();
+    let bytes = video.to_bytes();
+    // Every prefix either parses (and then decodes or errors cleanly) or
+    // reports a container error; nothing panics.
+    for cut in [0, 3, 4, 10, 20, 21, 100, bytes.len() / 2, bytes.len() - 1] {
+        let prefix = &bytes[..cut.min(bytes.len())];
+        match VideoIndex::parse(prefix) {
+            Ok(index) => {
+                // Index parsed but payloads may be truncated.
+                for (i, meta) in index.i_frames() {
+                    let _ = index.decode_iframe(prefix, meta);
+                    let _ = i;
+                }
+            }
+            Err(e) => {
+                assert!(matches!(
+                    e,
+                    ContainerError::BadHeader | ContainerError::Truncated
+                ));
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_flips_in_payload_never_panic() {
+    let video = sample_video();
+    let mut bytes = video.to_bytes();
+    let payload_start = bytes.len() / 2;
+    // Flip a spread of bits in the payload region and attempt decodes.
+    for k in 0..64 {
+        let pos = payload_start + (k * 131) % (bytes.len() - payload_start);
+        bytes[pos] ^= 1 << (k % 8);
+        if let Ok(corrupt) = EncodedVideo::from_bytes(&bytes) {
+            let mut dec = Decoder::new(corrupt.resolution(), corrupt.quality());
+            for ef in corrupt.frames() {
+                // Either a frame (possibly visually wrong) or a clean error.
+                let _ = dec.decode_frame(ef);
+            }
+        }
+        bytes[pos] ^= 1 << (k % 8); // restore
+    }
+}
+
+#[test]
+fn frame_table_corruption_detected() {
+    let video = sample_video();
+    let mut bytes = video.to_bytes();
+    // Corrupt a frame-type byte in the table (offset 21 is the first entry).
+    bytes[21] = 0xFF;
+    assert_eq!(
+        VideoIndex::parse(&bytes).unwrap_err(),
+        ContainerError::BadHeader
+    );
+}
+
+#[test]
+fn header_resolution_corruption_detected() {
+    let video = sample_video();
+    let mut bytes = video.to_bytes();
+    // Zero width.
+    bytes[4..8].copy_from_slice(&0u32.to_le_bytes());
+    assert!(VideoIndex::parse(&bytes).is_err());
+}
+
+#[test]
+fn wrong_quality_decodes_but_degrades() {
+    // A decoder configured with the wrong quantizer quality must still
+    // produce frames (the bitstream is syntactically identical), just with
+    // wrong sample values — the classic mismatched-decoder behaviour.
+    let video = sample_video();
+    let first_i = video.i_frame_indices()[0];
+    let right = Decoder::decode_iframe(video.resolution(), video.quality(), &video.frames()[first_i].data)
+        .expect("decodes");
+    let wrong = Decoder::decode_iframe(video.resolution(), 10, &video.frames()[first_i].data)
+        .expect("still decodes");
+    assert_ne!(right, wrong);
+}
+
+#[test]
+fn p_frame_payload_as_iframe_is_error_or_garbage() {
+    let video = sample_video();
+    let p_idx = (0..video.frame_count())
+        .find(|&i| video.frames()[i].frame_type == FrameType::P)
+        .expect("stream has P-frames");
+    // Feeding a P-frame payload to the independent I-frame decoder must not
+    // panic; it typically under-runs the bitstream.
+    let result = Decoder::decode_iframe(
+        video.resolution(),
+        video.quality(),
+        &video.frames()[p_idx].data,
+    );
+    if let Err(e) = result {
+        assert_eq!(e, DecodeError::Bitstream);
+    }
+}
+
+#[test]
+fn empty_and_hostile_inputs() {
+    assert!(VideoIndex::parse(&[]).is_err());
+    assert!(VideoIndex::parse(b"SEV1").is_err());
+    assert!(EncodedVideo::from_bytes(&[0u8; 64]).is_err());
+    // A header claiming u32::MAX frames must not allocate absurdly.
+    let mut evil = Vec::new();
+    evil.extend_from_slice(b"SEV1");
+    evil.extend_from_slice(&32u32.to_le_bytes());
+    evil.extend_from_slice(&32u32.to_le_bytes());
+    evil.extend_from_slice(&30u32.to_le_bytes());
+    evil.push(75);
+    evil.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        VideoIndex::parse(&evil).unwrap_err(),
+        ContainerError::Truncated
+    );
+}

@@ -1,0 +1,102 @@
+//! Integration test: the *live* threaded 3-tier pipeline carrying real
+//! encoded frames through seek → WAN → detect, end to end.
+
+use std::sync::{Arc, Mutex};
+
+use sieve::prelude::*;
+use sieve_video::{Decoder, EncodedVideo};
+
+#[test]
+fn live_three_tier_pipeline_detects_events() {
+    let video = DatasetSpec::of(DatasetId::JacksonSquare).generate(DatasetScale::Tiny);
+    let encoded = EncodedVideo::encode(
+        video.resolution(),
+        video.fps(),
+        EncoderConfig::new(300, 150),
+        video.frames(),
+    );
+    let res = encoded.resolution();
+    let quality = encoded.quality();
+    let expected_i = encoded.i_frame_indices().len();
+    let labels = Arc::new(video.labels().to_vec());
+    let results: Arc<Mutex<Vec<(u64, LabelSet)>>> = Arc::default();
+
+    // Edge: filter P-frames by metadata, decode I-frames.
+    let edge = LiveStage::compute("edge", move |item: LiveItem| {
+        if item.tag != 0 {
+            return None;
+        }
+        let frame = Decoder::decode_iframe(res, quality, &item.payload).expect("decode");
+        let small = frame.resize(Resolution::new(32, 32));
+        Some(LiveItem {
+            id: item.id,
+            payload: small.y().data().to_vec(),
+            tag: 0,
+        })
+    });
+    // A shaped WAN.
+    let wan = LiveStage::link("wan", 50.0e6);
+    // Cloud: oracle "NN" keyed by frame id (ground truth stands in for a
+    // correct detector, as in the paper's accuracy model).
+    let cloud = {
+        let labels = labels.clone();
+        let results = results.clone();
+        LiveStage::compute("cloud", move |item: LiveItem| {
+            let l = labels
+                .get(item.id as usize)
+                .copied()
+                .unwrap_or_default();
+            results.lock().unwrap().push((item.id, l));
+            Some(item)
+        })
+    };
+
+    let items: Vec<LiveItem> = encoded
+        .frames()
+        .iter()
+        .enumerate()
+        .map(|(i, ef)| LiveItem {
+            id: i as u64,
+            payload: ef.data.clone(),
+            tag: match ef.frame_type {
+                FrameType::I => 0,
+                FrameType::P => 1,
+            },
+        })
+        .collect();
+
+    let report = sieve_simnet::run_live(vec![edge, wan, cloud], items, 8);
+    assert_eq!(report.delivered as usize, expected_i);
+    assert_eq!(report.dropped as usize, encoded.frame_count() - expected_i);
+
+    // The tuples collected in the cloud reconstruct accurate per-frame
+    // labels via propagation.
+    let mut collected = results.lock().unwrap().clone();
+    collected.sort_by_key(|(id, _)| *id);
+    let pairs: Vec<(usize, LabelSet)> = collected
+        .into_iter()
+        .map(|(id, l)| (id as usize, l))
+        .collect();
+    let predicted = sieve_core::propagate_labels(encoded.frame_count(), &pairs);
+    let acc = sieve_core::label_accuracy(video.labels(), &predicted);
+    assert!(acc > 0.9, "live pipeline accuracy too low: {acc}");
+}
+
+#[test]
+fn live_pipeline_backpressure_does_not_deadlock() {
+    // Tiny channel capacity with a slow middle stage: must still drain.
+    let items: Vec<LiveItem> = (0..100)
+        .map(|id| LiveItem {
+            id,
+            payload: vec![0u8; 64],
+            tag: 0,
+        })
+        .collect();
+    let slow = LiveStage::compute("slow", |it: LiveItem| {
+        std::thread::sleep(std::time::Duration::from_micros(200));
+        Some(it)
+    });
+    let fast = LiveStage::compute("fast", Some);
+    let report = sieve_simnet::run_live(vec![fast, slow], items, 1);
+    assert_eq!(report.delivered, 100);
+}

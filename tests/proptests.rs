@@ -1,0 +1,186 @@
+//! Cross-crate property-based tests (proptest).
+//!
+//! These pin down the invariants the system's correctness rests on: codec
+//! round-trips, container integrity, metric bounds, calibration behaviour,
+//! and simulator conservation laws.
+
+use proptest::prelude::*;
+use sieve::prelude::*;
+use sieve_core::propagate_labels;
+use sieve_video::bitio::{BitReader, BitWriter};
+use sieve_video::{EncodedVideo, VideoIndex};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exp-Golomb codes round-trip for any sequence of values.
+    #[test]
+    fn bitio_ue_se_roundtrip(values in proptest::collection::vec((0u64..1 << 40, -5000i64..5000), 1..60)) {
+        let mut w = BitWriter::new();
+        for &(u, s) in &values {
+            w.write_ue(u);
+            w.write_se(s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(u, s) in &values {
+            prop_assert_eq!(r.read_ue().unwrap(), u);
+            prop_assert_eq!(r.read_se().unwrap(), s);
+        }
+    }
+
+    /// Quantize/dequantize error is bounded by half a quantization step.
+    #[test]
+    fn quant_error_bounded(quality in 1u8..=100, coeffs in proptest::collection::vec(-900f32..900.0, 64)) {
+        let table = sieve_video::QuantTable::luma(quality);
+        let arr: [f32; 64] = coeffs.try_into().unwrap();
+        let mut levels = [0i32; 64];
+        let mut back = [0f32; 64];
+        table.quantize(&arr, &mut levels);
+        table.dequantize(&levels, &mut back);
+        for i in 0..64 {
+            prop_assert!((arr[i] - back[i]).abs() <= table.step(i) as f32 / 2.0 + 1e-3);
+        }
+    }
+
+    /// Any frame encodes to an I-frame that independently decodes with
+    /// bounded reconstruction error (PSNR above a floor).
+    #[test]
+    fn iframe_roundtrip_any_content(seed in 0u64..1000) {
+        let res = Resolution::new(48, 32);
+        let mut frame = Frame::grey(res);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for v in frame.y_mut().data_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = (state >> 56) as u8;
+        }
+        let mut enc = Encoder::new(res, EncoderConfig::new(10, 40).with_quality(90));
+        let ef = enc.encode_frame(&frame);
+        prop_assert_eq!(ef.frame_type, FrameType::I);
+        let dec = sieve_video::Decoder::decode_iframe(res, 90, &ef.data).unwrap();
+        // Random noise is the worst case for a DCT codec; PSNR floor is low
+        // but must hold.
+        prop_assert!(frame.psnr_luma(&dec) > 20.0);
+    }
+
+    /// Container serialization round-trips and the index agrees with the
+    /// in-memory frame types for any GOP structure.
+    #[test]
+    fn container_roundtrip_any_gop(gop in 1usize..12, frames in 1usize..24) {
+        let res = Resolution::new(32, 32);
+        let video = EncodedVideo::encode(
+            res,
+            30,
+            EncoderConfig::new(gop, 0),
+            (0..frames).map(|i| {
+                let mut f = Frame::grey(res);
+                f.y_mut().put(i % 32, 0, 255);
+                f
+            }),
+        );
+        let bytes = video.to_bytes();
+        let back = EncodedVideo::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &video);
+        let index = VideoIndex::parse(&bytes).unwrap();
+        let from_index: Vec<usize> = index.i_frames().map(|(i, _)| i).collect();
+        prop_assert_eq!(from_index, video.i_frame_indices());
+        // GOP invariant: I-frames at most `gop` apart, starting at 0.
+        let i_frames = video.i_frame_indices();
+        prop_assert_eq!(i_frames[0], 0);
+        for w in i_frames.windows(2) {
+            prop_assert!(w[1] - w[0] <= gop);
+        }
+    }
+
+    /// Propagated labels always match ground truth exactly at the selected
+    /// frames, and selection of every frame gives perfect accuracy.
+    #[test]
+    fn propagation_invariants(labels_bits in proptest::collection::vec(0u8..32, 2..80)) {
+        let labels: Vec<LabelSet> = labels_bits.iter().map(|&b| LabelSet::from_bits(b)).collect();
+        // Select every frame: perfect accuracy, zero filtering.
+        let all: Vec<usize> = (0..labels.len()).collect();
+        let q = score_selection(&labels, &all);
+        prop_assert!((q.accuracy - 1.0).abs() < 1e-12);
+        prop_assert_eq!(q.filtering_rate, 0.0);
+        // Any selection: propagated equals truth at selected indices.
+        let some: Vec<usize> = (0..labels.len()).step_by(3).collect();
+        let pairs: Vec<(usize, LabelSet)> = some.iter().map(|&i| (i, labels[i])).collect();
+        let propagated = propagate_labels(labels.len(), &pairs);
+        for &i in &some {
+            prop_assert_eq!(propagated[i], labels[i]);
+        }
+        // Metrics stay in [0, 1].
+        let q = score_selection(&labels, &some);
+        for v in [q.accuracy, q.sampling_rate, q.filtering_rate, q.f1] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    /// Threshold calibration never overshoots: the selected fraction is
+    /// within one frame of the closest achievable to the target.
+    #[test]
+    fn calibration_close_to_target(
+        scores in proptest::collection::vec(0f64..1000.0, 10..300),
+        target_pct in 1u32..100,
+    ) {
+        let total = scores.len() + 1;
+        let target = target_pct as f64 / 100.0;
+        let t = calibrate_threshold(&scores, total, target);
+        let picked = select_frames(&scores, t).len();
+        let want = ((total as f64 * target).round() as usize).max(1);
+        // Ties can force extra inclusions; otherwise exact.
+        prop_assert!(picked >= want.min(total) || picked == scores.iter().filter(|&&s| s > t).count() + 1);
+        let distinct: std::collections::BTreeSet<u64> = scores.iter().map(|s| s.to_bits()).collect();
+        if distinct.len() == scores.len() {
+            prop_assert_eq!(picked, want.min(total), "exact without ties");
+        }
+    }
+
+    /// The tandem-queue pipeline conserves items and never finishes before
+    /// the sum of any single item's service times.
+    #[test]
+    fn pipeline_conservation(
+        services in proptest::collection::vec(0.001f64..0.1, 1..40),
+    ) {
+        use sieve_simnet::{Pipeline, StageSpec, StepWork};
+        let mut p = Pipeline::new(vec![
+            StageSpec::Compute { name: "a".into() },
+            StageSpec::Compute { name: "b".into() },
+        ]);
+        let mut max_single = 0.0f64;
+        let mut sum_a = 0.0f64;
+        for &s in &services {
+            let r = p.submit(0.0, &[
+                StepWork::Compute { secs: s },
+                StepWork::Compute { secs: s / 2.0 },
+            ]);
+            max_single = max_single.max(s + s / 2.0);
+            sum_a += s;
+            prop_assert!(r.completion >= s + s / 2.0 - 1e-12);
+        }
+        let rep = p.report();
+        prop_assert_eq!(rep.items, services.len() as u64);
+        // Makespan at least the busy time of the first stage (it is the
+        // entry bottleneck when all items arrive at t=0).
+        prop_assert!(rep.makespan_secs >= sum_a - 1e-9);
+        prop_assert!(rep.makespan_secs >= max_single - 1e-9);
+    }
+
+    /// Event segmentation partitions any label sequence.
+    #[test]
+    fn segmentation_partitions(labels_bits in proptest::collection::vec(0u8..32, 0..200)) {
+        let labels: Vec<LabelSet> = labels_bits.iter().map(|&b| LabelSet::from_bits(b)).collect();
+        let events = segment_events(&labels);
+        let total: usize = events.iter().map(|e| e.len).sum();
+        prop_assert_eq!(total, labels.len());
+        let mut cursor = 0;
+        for e in &events {
+            prop_assert_eq!(e.start, cursor);
+            prop_assert!(e.len > 0);
+            for i in e.start..e.end() {
+                prop_assert_eq!(labels[i], e.labels);
+            }
+            cursor = e.end();
+        }
+    }
+}
