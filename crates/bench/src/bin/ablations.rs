@@ -31,7 +31,11 @@ fn scenecut_sweep(scale: DatasetScale) {
         .iter()
         .map(|&sc| {
             let v = sieve_video::EncodedVideo::encode(
-                video.resolution(), video.fps(), EncoderConfig::new(600, sc), video.frames());
+                video.resolution(),
+                video.fps(),
+                EncoderConfig::new(600, sc),
+                video.frames(),
+            );
             let q = score_encoding(&v, video.labels());
             vec![
                 sc.to_string(),
@@ -41,7 +45,10 @@ fn scenecut_sweep(scale: DatasetScale) {
             ]
         })
         .collect();
-    println!("{}", table(&["scenecut", "accuracy", "sampled", "F1"], &rows));
+    println!(
+        "{}",
+        table(&["scenecut", "accuracy", "sampled", "F1"], &rows)
+    );
 }
 
 fn gop_sweep(scale: DatasetScale) {
@@ -52,7 +59,11 @@ fn gop_sweep(scale: DatasetScale) {
         .iter()
         .map(|&gop| {
             let v = sieve_video::EncodedVideo::encode(
-                video.resolution(), video.fps(), EncoderConfig::new(gop, 0), video.frames());
+                video.resolution(),
+                video.fps(),
+                EncoderConfig::new(gop, 0),
+                video.frames(),
+            );
             let q = score_encoding(&v, video.labels());
             vec![
                 gop.to_string(),

@@ -32,14 +32,10 @@ fn main() {
             })
             .collect();
         println!("{id} ({} eval frames):", prepared.eval_labels().len());
-        println!(
-            "{}",
-            table(&["sampled", "SiEVE", "SIFT", "MSE"], &rows)
-        );
+        println!("{}", table(&["sampled", "SiEVE", "SIFT", "MSE"], &rows));
         // Paper-style summary: mean advantage over each baseline.
         let n = points.len() as f64;
-        let mean_vs_sift: f64 =
-            points.iter().map(|p| p.sieve - p.sift).sum::<f64>() / n;
+        let mean_vs_sift: f64 = points.iter().map(|p| p.sieve - p.sift).sum::<f64>() / n;
         let mean_vs_mse: f64 = points.iter().map(|p| p.sieve - p.mse).sum::<f64>() / n;
         summaries.push((id, mean_vs_sift, mean_vs_mse));
     }

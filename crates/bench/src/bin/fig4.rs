@@ -37,9 +37,11 @@ fn main() {
         rows.push(row);
     }
     let headers: Vec<String> = std::iter::once("Baseline".to_string())
-        .chain(sweep.iter().map(|(k, _)| {
-            format!("{k} video{} (fps)", if *k == 1 { "" } else { "s" })
-        }))
+        .chain(
+            sweep
+                .iter()
+                .map(|(k, _)| format!("{k} video{} (fps)", if *k == 1 { "" } else { "s" })),
+        )
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     println!("{}", table(&header_refs, &rows));

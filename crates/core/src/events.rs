@@ -1,15 +1,20 @@
 //! Event detection and label assignment over encoded videos.
 //!
-//! Glues together the seeker (or a baseline's frame selection), an object
-//! detector, and label propagation into the result the cloud stores: a list
-//! of `(frame id, object labels)` tuples plus the derived per-frame labels.
+//! One generic driver glues a [`FrameSelector`] (which frames get decoded),
+//! an [`ObjectDetector`] (what the NN says about them), and label
+//! propagation into the result the cloud stores: a list of `(frame id,
+//! object labels)` tuples plus the derived per-frame labels. Every baseline
+//! — SiEVE's I-frame seeking and the image-filter baselines adapted in
+//! `sieve-filters` — runs through [`analyze`]; there is no per-baseline
+//! analysis glue.
 
 use sieve_datasets::{segment_events, Event, LabelSet};
 use sieve_nn::ObjectDetector;
-use sieve_video::{DecodeError, EncodedVideo, Frame};
+use sieve_video::{EncodedVideo, Frame};
 
+use crate::error::SieveError;
 use crate::metrics::propagate_labels;
-use crate::seeker::IFrameSeeker;
+use crate::select::{FrameSelector, IFrameSelector};
 
 /// The output of analysing one video.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +27,28 @@ pub struct AnalysisResult {
 }
 
 impl AnalysisResult {
+    /// Runs `detector` over decoded `(index, frame)` pairs and propagates
+    /// labels across `frame_count` frames — the one place detection output
+    /// becomes an analysis result.
+    pub fn from_detections<'a, I>(
+        frame_count: usize,
+        detector: &mut (impl ObjectDetector + ?Sized),
+        picked: I,
+    ) -> Self
+    where
+        I: IntoIterator<Item = (usize, &'a Frame)>,
+    {
+        let selected: Vec<(usize, LabelSet)> = picked
+            .into_iter()
+            .map(|(i, frame)| (i, detector.detect(i, frame)))
+            .collect();
+        let predicted = propagate_labels(frame_count, &selected);
+        Self {
+            selected,
+            predicted,
+        }
+    }
+
     /// The predicted events (maximal runs of equal labels).
     pub fn events(&self) -> Vec<Event> {
         segment_events(&self.predicted)
@@ -37,8 +64,40 @@ impl AnalysisResult {
     }
 }
 
-/// SiEVE's analysis path: seek I-frames, decode each independently, run the
-/// detector on them only, propagate labels to all other frames.
+/// The generic analysis path: `selector` chooses and decodes frames,
+/// `detector` labels them, propagation fills in the rest.
+///
+/// Selection is streamed: policies that decode incrementally (I-frame
+/// seeking) never hold more than one decoded frame in memory, so the path
+/// stays constant-memory on arbitrarily long videos.
+///
+/// # Errors
+///
+/// Propagates selection/decode failures as [`SieveError`]; a selector that
+/// yields out-of-range or non-ascending indices surfaces an error rather
+/// than corrupting propagation.
+pub fn analyze(
+    video: &EncodedVideo,
+    selector: &mut (impl FrameSelector + ?Sized),
+    detector: &mut (impl ObjectDetector + ?Sized),
+) -> Result<AnalysisResult, SieveError> {
+    let frame_count = video.frame_count();
+    let mut selected: Vec<(usize, LabelSet)> = Vec::new();
+    selector.select_with(video, &mut |i, frame| {
+        check_selection(selected.last().map(|&(prev, _)| prev), i, frame_count)?;
+        selected.push((i, detector.detect(i, frame)));
+        Ok(())
+    })?;
+    let predicted = propagate_labels(frame_count, &selected);
+    Ok(AnalysisResult {
+        selected,
+        predicted,
+    })
+}
+
+/// SiEVE's analysis path: [`analyze`] with the [`IFrameSelector`] policy —
+/// seek I-frames by metadata, decode each independently, run the detector
+/// on them only, propagate labels to all other frames.
 ///
 /// # Errors
 ///
@@ -46,40 +105,55 @@ impl AnalysisResult {
 pub fn analyze_sieve(
     video: &EncodedVideo,
     detector: &mut dyn ObjectDetector,
-) -> Result<AnalysisResult, DecodeError> {
-    let seeker = IFrameSeeker::new(video);
-    let mut selected = Vec::with_capacity(seeker.i_frame_count());
-    for item in seeker.decode_i_frames() {
-        let (idx, frame) = item?;
-        selected.push((idx, detector.detect(idx, &frame)));
-    }
-    let predicted = propagate_labels(video.frame_count(), &selected);
-    Ok(AnalysisResult {
-        selected,
-        predicted,
-    })
+) -> Result<AnalysisResult, SieveError> {
+    analyze(video, &mut IFrameSelector::new(), detector)
 }
 
-/// A baseline's analysis path: the caller supplies decoded frames and the
-/// indices its filter selected; the detector runs on those frames only.
+/// Analysis over pre-decoded frames and a precomputed selection; the
+/// detector runs on the selected frames only. Used when the decoded stream
+/// already exists (filter calibration, stored footage).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if an index is out of range or indices are unsorted.
+/// Returns [`SieveError::InvalidSelection`] if an index is out of range,
+/// or [`SieveError::Selector`] if indices are not strictly increasing.
 pub fn analyze_selected(
     frames: &[Frame],
     selected_indices: &[usize],
     detector: &mut dyn ObjectDetector,
-) -> AnalysisResult {
-    let selected: Vec<(usize, LabelSet)> = selected_indices
-        .iter()
-        .map(|&i| (i, detector.detect(i, &frames[i])))
-        .collect();
-    let predicted = propagate_labels(frames.len(), &selected);
-    AnalysisResult {
-        selected,
-        predicted,
+) -> Result<AnalysisResult, SieveError> {
+    let mut prev = None;
+    for &i in selected_indices {
+        check_selection(prev, i, frames.len())?;
+        prev = Some(i);
     }
+    Ok(AnalysisResult::from_detections(
+        frames.len(),
+        detector,
+        selected_indices.iter().map(|&i| (i, &frames[i])),
+    ))
+}
+
+/// Validates one selection step: in range, and strictly after `prev`. The
+/// single source of the invariants `propagate_labels` asserts, shared by
+/// both public entry points so a hostile or buggy selection surfaces as an
+/// error instead of a panic.
+fn check_selection(
+    prev: Option<usize>,
+    index: usize,
+    frame_count: usize,
+) -> Result<(), SieveError> {
+    if index >= frame_count {
+        return Err(SieveError::InvalidSelection { index, frame_count });
+    }
+    if let Some(prev) = prev {
+        if index <= prev {
+            return Err(SieveError::selector(format!(
+                "selection must be strictly increasing: {index} after {prev}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -129,14 +203,70 @@ mod tests {
     }
 
     #[test]
+    fn generic_driver_equals_sieve_wrapper() {
+        let (video, encoded) = setup();
+        let mut oracle = OracleDetector::for_video(&video);
+        let direct = analyze_sieve(&encoded, &mut oracle).expect("analysis");
+        let via_generic =
+            analyze(&encoded, &mut IFrameSelector::new(), &mut oracle).expect("generic analysis");
+        assert_eq!(direct, via_generic);
+    }
+
+    #[test]
     fn analyze_selected_matches_oracle_on_all_frames() {
         let (video, _) = setup();
         let frames: Vec<Frame> = video.frames().collect();
         let all: Vec<usize> = (0..frames.len()).collect();
         let mut oracle = OracleDetector::for_video(&video);
-        let result = analyze_selected(&frames, &all, &mut oracle);
+        let result = analyze_selected(&frames, &all, &mut oracle).expect("in range");
         assert_eq!(result.predicted, video.labels());
         assert!((result.sampling_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analyze_selected_rejects_out_of_range() {
+        let (video, _) = setup();
+        let frames: Vec<Frame> = video.frames().take(10).collect();
+        let mut oracle = OracleDetector::for_video(&video);
+        assert!(matches!(
+            analyze_selected(&frames, &[0, 10], &mut oracle),
+            Err(SieveError::InvalidSelection { index: 10, .. })
+        ));
+    }
+
+    #[test]
+    fn analyze_selected_rejects_unsorted_indices() {
+        let (video, _) = setup();
+        let frames: Vec<Frame> = video.frames().take(10).collect();
+        let mut oracle = OracleDetector::for_video(&video);
+        assert!(matches!(
+            analyze_selected(&frames, &[3, 1], &mut oracle),
+            Err(SieveError::Selector(_))
+        ));
+        assert!(matches!(
+            analyze_selected(&frames, &[2, 2], &mut oracle),
+            Err(SieveError::Selector(_))
+        ));
+    }
+
+    #[test]
+    fn analyze_rejects_misbehaving_selector() {
+        struct Backwards;
+        impl FrameSelector for Backwards {
+            fn name(&self) -> &'static str {
+                "backwards"
+            }
+            fn select(&mut self, video: &EncodedVideo) -> Result<Vec<(usize, Frame)>, SieveError> {
+                let f = video.decode_iframe_at(0)?;
+                Ok(vec![(1, f.clone()), (0, f)])
+            }
+        }
+        let (video, encoded) = setup();
+        let mut oracle = OracleDetector::for_video(&video);
+        assert!(matches!(
+            analyze(&encoded, &mut Backwards, &mut oracle),
+            Err(SieveError::Selector(_))
+        ));
     }
 
     #[test]
@@ -147,7 +277,7 @@ mod tests {
         let sparse: Vec<usize> = (0..frames.len()).step_by(100).collect();
         let dense: Vec<usize> = (0..frames.len()).step_by(10).collect();
         let acc = |sel: &[usize], det: &mut OracleDetector| {
-            let r = analyze_selected(&frames, sel, det);
+            let r = analyze_selected(&frames, sel, det).expect("in range");
             crate::metrics::label_accuracy(video.labels(), &r.predicted)
         };
         assert!(acc(&sparse, &mut oracle) <= acc(&dense, &mut oracle));

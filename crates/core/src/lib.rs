@@ -34,24 +34,29 @@
 //! assert!(quality.accuracy > 0.8);
 //! ```
 
+pub mod error;
 pub mod events;
+pub mod live;
 pub mod lookup;
 pub mod metrics;
 pub mod pipeline;
 pub mod reencode;
 pub mod seeker;
+pub mod select;
 pub mod store;
 pub mod tuner;
 
-pub use events::{analyze_selected, analyze_sieve, AnalysisResult};
+pub use error::SieveError;
+pub use events::{analyze, analyze_selected, analyze_sieve, AnalysisResult};
+pub use live::{run_live_analysis, LiveAnalysis, LiveConfig};
 pub use lookup::LookupTable;
-pub use metrics::{
-    f1_score, label_accuracy, propagate_labels, score_selection, DetectionQuality,
-};
+pub use metrics::{f1_score, label_accuracy, propagate_labels, score_selection, DetectionQuality};
 pub use pipeline::{
-    simulate_all, simulate_baseline, Baseline, BaselineOutcome, VideoWorkload, WorkloadCosts,
+    simulate_all, simulate_baseline, Baseline, BaselineOutcome, BaselineSpec, Deployment,
+    SelectorKind, VideoWorkload, WorkloadCosts,
 };
 pub use reencode::{reencode_semantic, ReencodeStats};
 pub use seeker::{ByteStreamSeeker, IFrameSeeker};
+pub use select::{FixedSelector, FrameSelector, IFrameSelector};
 pub use store::{EventSeeker, ResultStore, ResultTuple};
 pub use tuner::{score_encoding, tune, ConfigGrid, ConfigScore, TuningOutcome};

@@ -1,0 +1,269 @@
+//! The live threaded analysis pipeline, generic over selector and detector.
+//!
+//! Where [`crate::pipeline`] *simulates* a deployment from calibrated
+//! costs, this module actually runs one on OS threads via
+//! `sieve-simnet`'s back-pressured [`run_live`] runtime: the camera stage
+//! feeds encoded frames, the edge stage applies any [`FrameSelector`]'s
+//! policy (dropping unselected frames, decoding survivors, resizing them to
+//! the NN input), a bandwidth-throttled WAN stage carries the survivors,
+//! and the cloud stage runs any [`ObjectDetector`] and stores `(frame id,
+//! labels)` tuples. One driver serves every baseline — swapping the
+//! selector is the only difference between a SiEVE deployment and an
+//! MSE/uniform one.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sieve_nn::ObjectDetector;
+use sieve_simnet::{run_live, LiveItem, LiveReport, LiveStage};
+use sieve_video::{Decoder, EncodedVideo, FrameType, Resolution};
+
+use crate::error::SieveError;
+use crate::events::AnalysisResult;
+use crate::metrics::propagate_labels;
+use crate::select::FrameSelector;
+
+/// Configuration of the live 3-tier run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveConfig {
+    /// Edge→cloud WAN bandwidth in bits per second.
+    pub wan_bps: f64,
+    /// Bounded channel capacity between stages (back-pressure depth).
+    pub capacity: usize,
+    /// Square side of the frames shipped to the NN.
+    pub nn_input: u32,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            // The paper's traffic-shaped 30 Mbps WAN.
+            wan_bps: 30.0e6,
+            capacity: 16,
+            nn_input: 32,
+        }
+    }
+}
+
+/// Outcome of a live analysis run.
+#[derive(Debug)]
+pub struct LiveAnalysis {
+    /// The runtime's transport/throughput report.
+    pub report: LiveReport,
+    /// The analysis result assembled from the tuples the cloud stored.
+    pub result: AnalysisResult,
+}
+
+/// Runs `video` through a live camera→edge→WAN→cloud pipeline with
+/// `selector` deciding what survives the edge and `detector` labelling
+/// survivors in the cloud.
+///
+/// The selection policy is evaluated up front (the edge needs to know which
+/// frame ids to keep); the frame payloads then stream through the threaded
+/// stages with real decoding, resizing, transfer throttling and inference.
+///
+/// # Errors
+///
+/// Propagates selection failures; decode failures inside the edge stage
+/// surface as dropped frames in the report.
+pub fn run_live_analysis<S, D>(
+    video: &EncodedVideo,
+    selector: &mut S,
+    detector: D,
+    config: &LiveConfig,
+) -> Result<LiveAnalysis, SieveError>
+where
+    S: FrameSelector + ?Sized,
+    D: ObjectDetector + Send + 'static,
+{
+    let selected = selector.select_indices(video)?;
+    let mut keep = vec![false; video.frame_count()];
+    for &i in &selected {
+        if i >= keep.len() {
+            return Err(SieveError::InvalidSelection {
+                index: i,
+                frame_count: keep.len(),
+            });
+        }
+        keep[i] = true;
+    }
+    let res = video.resolution();
+    let quality = video.quality();
+    let nn_res = Resolution::new(config.nn_input, config.nn_input);
+    let full_decode = selector.requires_full_decode();
+
+    // Edge: apply the selection policy. Metadata-driven policies decode
+    // only survivors (independent I-frame decode); pixel policies must run
+    // the stateful full decoder over every frame to reach the survivors.
+    let edge = {
+        let mut stream_decoder = Decoder::new(res, quality);
+        LiveStage::compute("edge: select+decode+resize", move |item: LiveItem| {
+            let idx = item.id as usize;
+            let is_i = item.tag == 0;
+            let frame = if full_decode {
+                let ef = sieve_video::EncodedFrame {
+                    frame_type: if is_i { FrameType::I } else { FrameType::P },
+                    data: item.payload,
+                };
+                match stream_decoder.decode_frame(&ef) {
+                    Ok(f) => f,
+                    Err(_) => return None,
+                }
+            } else {
+                if !is_i {
+                    return None; // dropped by metadata alone
+                }
+                match Decoder::decode_iframe(res, quality, &item.payload) {
+                    Ok(f) => f,
+                    Err(_) => return None,
+                }
+            };
+            if !keep.get(idx).copied().unwrap_or(false) {
+                return None;
+            }
+            let small = frame.resize(nn_res);
+            let mut bytes = Vec::with_capacity(small.raw_bytes());
+            bytes.extend_from_slice(small.y().data());
+            bytes.extend_from_slice(small.u().data());
+            bytes.extend_from_slice(small.v().data());
+            Some(LiveItem {
+                id: item.id,
+                payload: bytes,
+                tag: item.tag,
+            })
+        })
+    };
+
+    let wan = LiveStage::link("edge->cloud WAN", config.wan_bps);
+
+    // Cloud: rebuild the shipped frame, run the detector, store the tuple.
+    let results: Arc<Mutex<Vec<(u64, sieve_datasets::LabelSet)>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    let detector = Arc::new(Mutex::new(detector));
+    let cloud = {
+        let results = results.clone();
+        let detector = detector.clone();
+        let side = config.nn_input;
+        LiveStage::compute("cloud: NN inference", move |item: LiveItem| {
+            let small_res = Resolution::new(side, side);
+            let (ylen, clen) = (small_res.luma_len(), small_res.chroma_len());
+            if item.payload.len() < ylen + 2 * clen {
+                return None;
+            }
+            let y = sieve_video::Plane::from_data(
+                side as usize,
+                side as usize,
+                item.payload[..ylen].to_vec(),
+            );
+            let u = sieve_video::Plane::from_data(
+                side as usize / 2,
+                side as usize / 2,
+                item.payload[ylen..ylen + clen].to_vec(),
+            );
+            let v = sieve_video::Plane::from_data(
+                side as usize / 2,
+                side as usize / 2,
+                item.payload[ylen + clen..ylen + 2 * clen].to_vec(),
+            );
+            let frame = sieve_video::Frame::from_planes(small_res, y, u, v);
+            let labels = detector.lock().detect(item.id as usize, &frame);
+            results.lock().push((item.id, labels));
+            Some(item)
+        })
+    };
+
+    // Camera: every encoded frame, tagged with its type from the metadata.
+    let items: Vec<LiveItem> = video
+        .frames()
+        .iter()
+        .enumerate()
+        .map(|(i, ef)| LiveItem {
+            id: i as u64,
+            payload: ef.data.clone(),
+            tag: match ef.frame_type {
+                FrameType::I => 0,
+                FrameType::P => 1,
+            },
+        })
+        .collect();
+
+    let report = run_live(vec![edge, wan, cloud], items, config.capacity);
+
+    let mut collected = results.lock().clone();
+    collected.sort_by_key(|(id, _)| *id);
+    let selected: Vec<(usize, sieve_datasets::LabelSet)> = collected
+        .into_iter()
+        .map(|(id, l)| (id as usize, l))
+        .collect();
+    let predicted = propagate_labels(video.frame_count(), &selected);
+    Ok(LiveAnalysis {
+        report,
+        result: AnalysisResult {
+            selected,
+            predicted,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::IFrameSelector;
+    use sieve_datasets::{DatasetId, DatasetScale, DatasetSpec};
+    use sieve_nn::OracleDetector;
+    use sieve_video::EncoderConfig;
+
+    #[test]
+    fn live_sieve_matches_offline_analysis() {
+        let video = DatasetSpec::of(DatasetId::JacksonSquare).generate(DatasetScale::Tiny);
+        let encoded = EncodedVideo::encode(
+            video.resolution(),
+            video.fps(),
+            EncoderConfig::new(300, 150),
+            video.frames().take(200),
+        );
+        let oracle = OracleDetector::for_video(&video);
+        let mut selector = IFrameSelector::new();
+        let live = run_live_analysis(
+            &encoded,
+            &mut selector,
+            oracle.clone(),
+            &LiveConfig::default(),
+        )
+        .expect("live run");
+        let mut oracle = oracle;
+        let offline = crate::events::analyze(&encoded, &mut IFrameSelector::new(), &mut oracle)
+            .expect("offline analysis");
+        assert_eq!(live.result, offline);
+        assert_eq!(live.report.delivered as usize, offline.selected.len());
+        assert_eq!(
+            live.report.dropped as usize,
+            encoded.frame_count() - offline.selected.len()
+        );
+    }
+
+    #[test]
+    fn live_fixed_selection_full_decode_path() {
+        let video = DatasetSpec::of(DatasetId::JacksonSquare).generate(DatasetScale::Tiny);
+        let encoded = EncodedVideo::encode(
+            video.resolution(),
+            video.fps(),
+            EncoderConfig::new(50, 0),
+            video.frames().take(120),
+        );
+        let oracle = OracleDetector::for_video(&video);
+        let mut selector = crate::select::FixedSelector::new(vec![0, 17, 53, 99]);
+        let live = run_live_analysis(
+            &encoded,
+            &mut selector,
+            oracle,
+            &LiveConfig {
+                capacity: 4,
+                ..LiveConfig::default()
+            },
+        )
+        .expect("live run");
+        let ids: Vec<usize> = live.result.selected.iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 17, 53, 99]);
+    }
+}

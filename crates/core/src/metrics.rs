@@ -70,11 +70,7 @@ pub fn propagate_labels(total_frames: usize, selected: &[(usize, LabelSet)]) -> 
 pub fn label_accuracy(truth: &[LabelSet], predicted: &[LabelSet]) -> f64 {
     assert_eq!(truth.len(), predicted.len(), "label length mismatch");
     assert!(!truth.is_empty(), "accuracy of an empty video is undefined");
-    let correct = truth
-        .iter()
-        .zip(predicted)
-        .filter(|(t, p)| t == p)
-        .count();
+    let correct = truth.iter().zip(predicted).filter(|(t, p)| t == p).count();
     correct as f64 / truth.len() as f64
 }
 
@@ -85,8 +81,7 @@ pub fn label_accuracy(truth: &[LabelSet], predicted: &[LabelSet]) -> f64 {
 ///
 /// Panics if `truth` is empty or `selected` is unsorted/out of range.
 pub fn score_selection(truth: &[LabelSet], selected: &[usize]) -> DetectionQuality {
-    let labelled: Vec<(usize, LabelSet)> =
-        selected.iter().map(|&i| (i, truth[i])).collect();
+    let labelled: Vec<(usize, LabelSet)> = selected.iter().map(|&i| (i, truth[i])).collect();
     let predicted = propagate_labels(truth.len(), &labelled);
     let accuracy = label_accuracy(truth, &predicted);
     let sampling_rate = selected.len() as f64 / truth.len() as f64;
@@ -151,16 +146,7 @@ mod tests {
     #[test]
     fn perfect_selection_scores_full_accuracy() {
         // Events: [none x3][car x3][none x2], selections at event starts.
-        let truth = vec![
-            none(),
-            none(),
-            none(),
-            car(),
-            car(),
-            car(),
-            none(),
-            none(),
-        ];
+        let truth = vec![none(), none(), none(), car(), car(), car(), none(), none()];
         let q = score_selection(&truth, &[0, 3, 6]);
         assert!((q.accuracy - 1.0).abs() < 1e-12);
         assert!((q.sampling_rate - 3.0 / 8.0).abs() < 1e-12);
@@ -170,16 +156,7 @@ mod tests {
     fn late_iframe_loses_event_prefix() {
         // The car event starts at 3 but the first selection inside it is 5:
         // frames 3 and 4 are mislabelled.
-        let truth = vec![
-            none(),
-            none(),
-            none(),
-            car(),
-            car(),
-            car(),
-            car(),
-            none(),
-        ];
+        let truth = vec![none(), none(), none(), car(), car(), car(), car(), none()];
         let q = score_selection(&truth, &[0, 5, 7]);
         assert!((q.accuracy - 6.0 / 8.0).abs() < 1e-12);
     }

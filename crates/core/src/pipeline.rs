@@ -15,6 +15,77 @@
 use serde::{Deserialize, Serialize};
 use sieve_simnet::{Pipeline, StageSpec, StepWork, ThreeTier};
 
+/// The selection policy side of a baseline: which frames get analysed and
+/// what the *per-frame* selection work costs. Mirrors the
+/// [`crate::FrameSelector`] implementations (`sieve-filters` provides the
+/// uniform/MSE adapters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectorKind {
+    /// I-frame seeking over the semantically encoded stream (metadata scan;
+    /// only analysed frames are decoded).
+    IFrame,
+    /// Uniform sampling over the default-encoded stream (P-frames chain, so
+    /// reaching a sampled frame still means full-decoding up to it).
+    Uniform,
+    /// MSE differencing over the default-encoded stream (full decode plus a
+    /// per-pair comparison).
+    Mse,
+}
+
+impl SelectorKind {
+    /// True when the policy consumes the semantically encoded stream.
+    pub fn uses_semantic_encoding(&self) -> bool {
+        matches!(self, SelectorKind::IFrame)
+    }
+
+    /// Frames this policy analyses for `video`.
+    pub fn analysed_frames(&self, video: &VideoWorkload) -> usize {
+        match self {
+            // Uniform sampling is budget-matched to SiEVE's I-frame count,
+            // the paper's fair-comparison methodology.
+            SelectorKind::IFrame | SelectorKind::Uniform => video.semantic_i_frames,
+            SelectorKind::Mse => video.mse_selected,
+        }
+    }
+
+    /// Per-frame selection cost in reference-machine seconds: the work the
+    /// selecting tier spends on one stream frame, before any NN inference.
+    pub fn selection_secs(&self, c: &WorkloadCosts, analysed: bool) -> f64 {
+        let resize = if analysed { c.resize_to_nn } else { 0.0 };
+        match self {
+            SelectorKind::IFrame => {
+                c.seek_per_frame + if analysed { c.iframe_decode } else { 0.0 } + resize
+            }
+            SelectorKind::Uniform => c.full_decode_per_frame + resize,
+            SelectorKind::Mse => c.full_decode_per_frame + c.mse_per_pair + resize,
+        }
+    }
+}
+
+/// The placement side of a baseline: which tier selects and which runs the
+/// NN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Deployment {
+    /// Selection at the edge, NN inference in the cloud (3-tier).
+    EdgeSelectCloudNn,
+    /// The edge only relays; selection and NN both in the cloud (2-tier,
+    /// cloud-only).
+    CloudOnly,
+    /// Selection and NN both at the edge; only result tuples cross the WAN
+    /// (2-tier, edge-only).
+    EdgeOnly,
+}
+
+/// A baseline's full specification: selection policy plus deployment. The
+/// registry row the generic simulator consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BaselineSpec {
+    /// Which frames get analysed, and at what per-frame cost.
+    pub selector: SelectorKind,
+    /// Where selection and inference run.
+    pub deployment: Deployment,
+}
+
 /// The five end-to-end configurations the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Baseline {
@@ -44,6 +115,23 @@ impl Baseline {
         Baseline::MseEdgeCloudNn,
     ];
 
+    /// The registry: each named baseline is one `(selector, deployment)`
+    /// row. Adding a baseline is adding a variant plus its row here — the
+    /// simulator itself is generic over the spec.
+    pub fn spec(&self) -> BaselineSpec {
+        let (selector, deployment) = match self {
+            Baseline::IFrameEdgeCloudNn => (SelectorKind::IFrame, Deployment::EdgeSelectCloudNn),
+            Baseline::IFrameCloudCloudNn => (SelectorKind::IFrame, Deployment::CloudOnly),
+            Baseline::IFrameEdgeEdgeNn => (SelectorKind::IFrame, Deployment::EdgeOnly),
+            Baseline::UniformEdgeCloudNn => (SelectorKind::Uniform, Deployment::EdgeSelectCloudNn),
+            Baseline::MseEdgeCloudNn => (SelectorKind::Mse, Deployment::EdgeSelectCloudNn),
+        };
+        BaselineSpec {
+            selector,
+            deployment,
+        }
+    }
+
     /// The paper's legend label.
     pub fn label(&self) -> &'static str {
         match self {
@@ -55,14 +143,9 @@ impl Baseline {
         }
     }
 
-    /// True for the three baselines that consume semantically encoded video.
+    /// True for the baselines that consume semantically encoded video.
     pub fn uses_semantic_encoding(&self) -> bool {
-        matches!(
-            self,
-            Baseline::IFrameEdgeCloudNn
-                | Baseline::IFrameCloudCloudNn
-                | Baseline::IFrameEdgeEdgeNn
-        )
+        self.spec().selector.uses_semantic_encoding()
     }
 }
 
@@ -184,150 +267,76 @@ pub fn simulate_all(videos: &[VideoWorkload], topology: &ThreeTier) -> Vec<Basel
         .collect()
 }
 
-fn submit_video(
-    baseline: Baseline,
-    v: &VideoWorkload,
-    topo: &ThreeTier,
-    pipeline: &mut Pipeline,
-) {
+/// Submits every frame of one video as the 4-stage work its baseline spec
+/// implies. Fully generic: the selector kind decides which stream is
+/// shipped, which frames are analysed and the per-frame selection cost; the
+/// deployment decides which tier pays it and what crosses each link.
+fn submit_video(baseline: Baseline, v: &VideoWorkload, topo: &ThreeTier, pipeline: &mut Pipeline) {
+    let BaselineSpec {
+        selector,
+        deployment,
+    } = baseline.spec();
     let n = v.frame_count.max(1);
     let c = &v.costs;
     let edge = &topo.edge;
     let cloud = &topo.cloud;
     // Per-frame share of the stream bytes on the camera->edge link.
-    let stream_bytes = if baseline.uses_semantic_encoding() {
+    let stream_bytes = if selector.uses_semantic_encoding() {
         v.semantic_stream_bytes
     } else {
         v.default_stream_bytes
     };
     let cam_share = stream_bytes / n as u64;
-    // Which frames are "analysed" for each baseline.
-    let analysed = match baseline {
-        Baseline::IFrameEdgeCloudNn
-        | Baseline::IFrameCloudCloudNn
-        | Baseline::IFrameEdgeEdgeNn
-        | Baseline::UniformEdgeCloudNn => v.semantic_i_frames,
-        Baseline::MseEdgeCloudNn => v.mse_selected,
-    };
+    let analysed = selector.analysed_frames(v);
     // Spread analysed frames evenly across the stream (their exact position
     // does not affect aggregate throughput or bytes in a FIFO pipeline).
     let stride = (n / analysed.max(1)).max(1);
     for i in 0..n {
         let is_analysed = i % stride == 0 && i / stride < analysed;
-        let work = match baseline {
-            Baseline::IFrameEdgeCloudNn => [
+        let select_secs = selector.selection_secs(c, is_analysed);
+        let nn_secs = if is_analysed { c.nn_inference } else { 0.0 };
+        let analysed_transfer = |bytes: u64| {
+            if is_analysed {
+                StepWork::Transfer { bytes }
+            } else {
+                StepWork::Skip
+            }
+        };
+        let work = match deployment {
+            // camera->edge stream, edge selects, WAN carries NN inputs,
+            // cloud infers.
+            Deployment::EdgeSelectCloudNn => [
                 StepWork::Transfer { bytes: cam_share },
                 StepWork::Compute {
-                    secs: edge.service_secs(
-                        c.seek_per_frame
-                            + if is_analysed {
-                                c.iframe_decode + c.resize_to_nn
-                            } else {
-                                0.0
-                            },
-                    ),
+                    secs: edge.service_secs(select_secs),
                 },
-                if is_analysed {
-                    StepWork::Transfer {
-                        bytes: v.nn_input_bytes,
-                    }
-                } else {
-                    StepWork::Skip
-                },
+                analysed_transfer(v.nn_input_bytes),
                 if is_analysed {
                     StepWork::Compute {
-                        secs: cloud.service_secs(c.nn_inference),
+                        secs: cloud.service_secs(nn_secs),
                     }
                 } else {
                     StepWork::Skip
                 },
             ],
-            Baseline::IFrameCloudCloudNn => [
+            // The edge only relays bytes (relay CPU treated as free); the
+            // whole stream crosses the WAN and the cloud does everything.
+            Deployment::CloudOnly => [
                 StepWork::Transfer { bytes: cam_share },
-                // The edge only relays bytes; treat relay CPU as free.
                 StepWork::Compute { secs: 0.0 },
                 StepWork::Transfer { bytes: cam_share },
                 StepWork::Compute {
-                    secs: cloud.service_secs(
-                        c.seek_per_frame
-                            + if is_analysed {
-                                c.iframe_decode + c.resize_to_nn + c.nn_inference
-                            } else {
-                                0.0
-                            },
-                    ),
+                    secs: cloud.service_secs(select_secs + nn_secs),
                 },
             ],
-            Baseline::IFrameEdgeEdgeNn => [
+            // The edge selects and infers; only result tuples cross the WAN.
+            Deployment::EdgeOnly => [
                 StepWork::Transfer { bytes: cam_share },
                 StepWork::Compute {
-                    secs: edge.service_secs(
-                        c.seek_per_frame
-                            + if is_analysed {
-                                c.iframe_decode + c.resize_to_nn + c.nn_inference
-                            } else {
-                                0.0
-                            },
-                    ),
+                    secs: edge.service_secs(select_secs + nn_secs),
                 },
-                if is_analysed {
-                    StepWork::Transfer {
-                        bytes: v.label_bytes,
-                    }
-                } else {
-                    StepWork::Skip
-                },
+                analysed_transfer(v.label_bytes),
                 StepWork::Compute { secs: 0.0 },
-            ],
-            Baseline::UniformEdgeCloudNn => [
-                StepWork::Transfer { bytes: cam_share },
-                // Uniform sampling still decodes the whole stream: P-frames
-                // chain, so reaching the sampled frame means decoding up to
-                // it.
-                StepWork::Compute {
-                    secs: edge.service_secs(
-                        c.full_decode_per_frame
-                            + if is_analysed { c.resize_to_nn } else { 0.0 },
-                    ),
-                },
-                if is_analysed {
-                    StepWork::Transfer {
-                        bytes: v.nn_input_bytes,
-                    }
-                } else {
-                    StepWork::Skip
-                },
-                if is_analysed {
-                    StepWork::Compute {
-                        secs: cloud.service_secs(c.nn_inference),
-                    }
-                } else {
-                    StepWork::Skip
-                },
-            ],
-            Baseline::MseEdgeCloudNn => [
-                StepWork::Transfer { bytes: cam_share },
-                StepWork::Compute {
-                    secs: edge.service_secs(
-                        c.full_decode_per_frame
-                            + c.mse_per_pair
-                            + if is_analysed { c.resize_to_nn } else { 0.0 },
-                    ),
-                },
-                if is_analysed {
-                    StepWork::Transfer {
-                        bytes: v.nn_input_bytes,
-                    }
-                } else {
-                    StepWork::Skip
-                },
-                if is_analysed {
-                    StepWork::Compute {
-                        secs: cloud.service_secs(c.nn_inference),
-                    }
-                } else {
-                    StepWork::Skip
-                },
             ],
         };
         pipeline.submit(0.0, &work);
@@ -353,8 +362,8 @@ mod tests {
         VideoWorkload {
             name: "test".into(),
             frame_count: 10_000,
-            semantic_i_frames: 200,  // 2%
-            mse_selected: 500,       // 2.5x the I-frames, as the paper saw
+            semantic_i_frames: 200,             // 2%
+            mse_selected: 500,                  // 2.5x the I-frames, as the paper saw
             semantic_stream_bytes: 112_000_000, // 12% larger than default
             default_stream_bytes: 100_000_000,
             nn_input_bytes: 1536, // 32x32 YUV420
@@ -438,7 +447,7 @@ mod tests {
         let w = workload();
         let o = simulate_baseline(
             Baseline::IFrameCloudCloudNn,
-            &[w.clone()],
+            std::slice::from_ref(&w),
             &ThreeTier::paper_default(),
         );
         // Whole semantic stream crosses the WAN (modulo per-frame rounding).
@@ -451,10 +460,13 @@ mod tests {
         let w = workload();
         let o = simulate_baseline(
             Baseline::IFrameEdgeEdgeNn,
-            &[w.clone()],
+            std::slice::from_ref(&w),
             &ThreeTier::paper_default(),
         );
-        assert_eq!(o.edge_cloud_bytes, w.label_bytes * w.semantic_i_frames as u64);
+        assert_eq!(
+            o.edge_cloud_bytes,
+            w.label_bytes * w.semantic_i_frames as u64
+        );
     }
 
     #[test]

@@ -103,11 +103,9 @@ mod tests {
             EncoderConfig::x264_default().with_quality(85),
             video.frames().take(30),
         );
-        let (semantic, _) = reencode_semantic(
-            &camera,
-            EncoderConfig::new(300, 150).with_quality(85),
-        )
-        .expect("reencode");
+        let (semantic, _) =
+            reencode_semantic(&camera, EncoderConfig::new(300, 150).with_quality(85))
+                .expect("reencode");
         // Generation loss is bounded: decoded output stays close to the
         // decoded input.
         let in_frames = camera.decode_all().expect("decode in");

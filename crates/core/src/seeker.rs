@@ -111,7 +111,7 @@ impl ByteStreamSeeker {
             .index
             .entries
             .get(frame_index)
-            .ok_or(DecodeError::Bitstream)?;
+            .ok_or(DecodeError::FrameOutOfRange)?;
         self.index.decode_iframe(bytes, meta)
     }
 }

@@ -1,0 +1,289 @@
+//! The unifying frame-selection layer.
+//!
+//! Every analysis strategy the paper compares — SiEVE's I-frame seeking,
+//! uniform sampling, MSE and SIFT differencing — is ultimately a policy for
+//! choosing *which frames of an encoded video get decoded and sent to the
+//! NN*. [`FrameSelector`] captures exactly that policy, so the analysis
+//! path ([`crate::events::analyze`]), the live threaded pipeline
+//! ([`crate::live`]), and the deployment simulator all run one generic
+//! driver; adding a baseline means writing one `FrameSelector` impl (the
+//! image-filter adapters live in `sieve-filters`) plus a
+//! [`crate::pipeline::Baseline`] registry entry for its cost model.
+
+use sieve_video::{EncodedVideo, Frame};
+
+use crate::error::SieveError;
+use crate::seeker::IFrameSeeker;
+
+/// A policy choosing which frames of an encoded video to analyse.
+pub trait FrameSelector {
+    /// Short name used in tables and reports ("sieve", "uniform", "mse").
+    fn name(&self) -> &'static str;
+
+    /// Whether the policy must run the full (expensive) decoder over every
+    /// frame before it can choose. `false` only for policies that operate
+    /// on container metadata, like I-frame seeking — the cost asymmetry at
+    /// the heart of the paper.
+    fn requires_full_decode(&self) -> bool {
+        true
+    }
+
+    /// Chooses frames from `video`, returning `(frame index, decoded
+    /// frame)` pairs in ascending index order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SieveError`] if decoding fails or the policy cannot be
+    /// applied to this video.
+    fn select(&mut self, video: &EncodedVideo) -> Result<Vec<(usize, Frame)>, SieveError>;
+
+    /// Chooses frame indices only. The default decodes and discards;
+    /// metadata-driven implementations override this with a cheap scan.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`FrameSelector::select`].
+    fn select_indices(&mut self, video: &EncodedVideo) -> Result<Vec<usize>, SieveError> {
+        Ok(self.select(video)?.into_iter().map(|(i, _)| i).collect())
+    }
+
+    /// Streams the selection through `visit` one decoded frame at a time,
+    /// in ascending index order. The default buffers via
+    /// [`FrameSelector::select`]; policies that can decode incrementally
+    /// (I-frame seeking) override this so a long video never holds more
+    /// than one decoded frame at once.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`FrameSelector::select`], plus whatever
+    /// `visit` returns.
+    fn select_with(
+        &mut self,
+        video: &EncodedVideo,
+        visit: &mut dyn FnMut(usize, &Frame) -> Result<(), SieveError>,
+    ) -> Result<(), SieveError> {
+        for (i, frame) in self.select(video)? {
+            visit(i, &frame)?;
+        }
+        Ok(())
+    }
+}
+
+impl<S: FrameSelector + ?Sized> FrameSelector for &mut S {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn requires_full_decode(&self) -> bool {
+        (**self).requires_full_decode()
+    }
+
+    fn select(&mut self, video: &EncodedVideo) -> Result<Vec<(usize, Frame)>, SieveError> {
+        (**self).select(video)
+    }
+
+    fn select_indices(&mut self, video: &EncodedVideo) -> Result<Vec<usize>, SieveError> {
+        (**self).select_indices(video)
+    }
+
+    fn select_with(
+        &mut self,
+        video: &EncodedVideo,
+        visit: &mut dyn FnMut(usize, &Frame) -> Result<(), SieveError>,
+    ) -> Result<(), SieveError> {
+        (**self).select_with(video, visit)
+    }
+}
+
+impl FrameSelector for Box<dyn FrameSelector + '_> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn requires_full_decode(&self) -> bool {
+        (**self).requires_full_decode()
+    }
+
+    fn select(&mut self, video: &EncodedVideo) -> Result<Vec<(usize, Frame)>, SieveError> {
+        (**self).select(video)
+    }
+
+    fn select_indices(&mut self, video: &EncodedVideo) -> Result<Vec<usize>, SieveError> {
+        (**self).select_indices(video)
+    }
+
+    fn select_with(
+        &mut self,
+        video: &EncodedVideo,
+        visit: &mut dyn FnMut(usize, &Frame) -> Result<(), SieveError>,
+    ) -> Result<(), SieveError> {
+        (**self).select_with(video, visit)
+    }
+}
+
+/// SiEVE's selection policy: scan the container metadata for I-frames and
+/// decode exactly those, independently. The [`FrameSelector`] adapter over
+/// [`IFrameSeeker`].
+///
+/// ```
+/// use sieve_core::{FrameSelector, IFrameSelector};
+/// use sieve_video::{EncodedVideo, EncoderConfig, Frame, Resolution};
+///
+/// let res = Resolution::new(32, 32);
+/// let video = EncodedVideo::encode(res, 30, EncoderConfig::new(3, 0),
+///                                  (0..7).map(|_| Frame::grey(res)));
+/// let mut sel = IFrameSelector::new();
+/// assert!(!sel.requires_full_decode());
+/// assert_eq!(sel.select_indices(&video).unwrap(), vec![0, 3, 6]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IFrameSelector;
+
+impl IFrameSelector {
+    /// Creates the selector (stateless).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl FrameSelector for IFrameSelector {
+    fn name(&self) -> &'static str {
+        "sieve"
+    }
+
+    fn requires_full_decode(&self) -> bool {
+        false
+    }
+
+    fn select(&mut self, video: &EncodedVideo) -> Result<Vec<(usize, Frame)>, SieveError> {
+        let seeker = IFrameSeeker::new(video);
+        let mut out = Vec::with_capacity(seeker.i_frame_count());
+        for item in seeker.decode_i_frames() {
+            out.push(item?);
+        }
+        Ok(out)
+    }
+
+    fn select_indices(&mut self, video: &EncodedVideo) -> Result<Vec<usize>, SieveError> {
+        Ok(video.i_frame_indices())
+    }
+
+    fn select_with(
+        &mut self,
+        video: &EncodedVideo,
+        visit: &mut dyn FnMut(usize, &Frame) -> Result<(), SieveError>,
+    ) -> Result<(), SieveError> {
+        // Stream: one independently decoded I-frame in memory at a time.
+        for item in IFrameSeeker::new(video).decode_i_frames() {
+            let (i, frame) = item?;
+            visit(i, &frame)?;
+        }
+        Ok(())
+    }
+}
+
+/// A fixed, precomputed selection: fully decodes the stream and keeps the
+/// given indices. Adapts externally computed selections (stored results,
+/// hand-picked frames) to the generic driver.
+#[derive(Debug, Clone)]
+pub struct FixedSelector {
+    indices: Vec<usize>,
+}
+
+impl FixedSelector {
+    /// Selects exactly `indices` (must be ascending and in range at
+    /// selection time).
+    pub fn new(indices: Vec<usize>) -> Self {
+        Self { indices }
+    }
+}
+
+impl FrameSelector for FixedSelector {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn select(&mut self, video: &EncodedVideo) -> Result<Vec<(usize, Frame)>, SieveError> {
+        let frames = video.decode_all()?;
+        self.indices
+            .iter()
+            .map(|&i| {
+                frames
+                    .get(i)
+                    .cloned()
+                    .map(|f| (i, f))
+                    .ok_or(SieveError::InvalidSelection {
+                        index: i,
+                        frame_count: frames.len(),
+                    })
+            })
+            .collect()
+    }
+
+    fn select_indices(&mut self, video: &EncodedVideo) -> Result<Vec<usize>, SieveError> {
+        if let Some(&bad) = self.indices.iter().find(|&&i| i >= video.frame_count()) {
+            return Err(SieveError::InvalidSelection {
+                index: bad,
+                frame_count: video.frame_count(),
+            });
+        }
+        Ok(self.indices.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sieve_video::{EncoderConfig, Resolution};
+
+    fn video(gop: usize, frames: usize) -> EncodedVideo {
+        let res = Resolution::new(48, 32);
+        EncodedVideo::encode(
+            res,
+            30,
+            EncoderConfig::new(gop, 0),
+            (0..frames).map(move |i| {
+                let mut f = Frame::grey(res);
+                for y in 0..32usize {
+                    for x in 0..48usize {
+                        f.y_mut().put(x, y, ((x * 3 + y * 7 + i) % 230) as u8);
+                    }
+                }
+                f
+            }),
+        )
+    }
+
+    #[test]
+    fn iframe_selector_matches_seeker() {
+        let v = video(4, 12);
+        let mut sel = IFrameSelector::new();
+        assert_eq!(sel.select_indices(&v).unwrap(), v.i_frame_indices());
+        let picked = sel.select(&v).unwrap();
+        assert_eq!(picked.len(), 3);
+        for (i, f) in &picked {
+            assert_eq!(*f, v.decode_iframe_at(*i).unwrap());
+        }
+    }
+
+    #[test]
+    fn fixed_selector_range_checked() {
+        let v = video(4, 8);
+        let mut sel = FixedSelector::new(vec![0, 3, 99]);
+        assert!(matches!(
+            sel.select_indices(&v),
+            Err(SieveError::InvalidSelection { index: 99, .. })
+        ));
+        assert!(sel.select(&v).is_err());
+        let mut ok = FixedSelector::new(vec![0, 5]);
+        assert_eq!(ok.select(&v).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dyn_box_dispatch_works() {
+        let v = video(3, 9);
+        let mut boxed: Box<dyn FrameSelector> = Box::new(IFrameSelector::new());
+        assert_eq!(boxed.name(), "sieve");
+        assert_eq!(boxed.select_indices(&v).unwrap(), vec![0, 3, 6]);
+    }
+}

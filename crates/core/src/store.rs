@@ -65,11 +65,8 @@ impl ResultStore {
     /// Per-frame labels reconstructed by propagation (frame `i` inherits the
     /// most recent stored tuple at or before `i`).
     pub fn frame_labels(&self) -> Vec<LabelSet> {
-        let pairs: Vec<(usize, LabelSet)> = self
-            .tuples
-            .iter()
-            .map(|t| (t.frame_id, t.labels))
-            .collect();
+        let pairs: Vec<(usize, LabelSet)> =
+            self.tuples.iter().map(|t| (t.frame_id, t.labels)).collect();
         crate::metrics::propagate_labels(self.frame_count, &pairs)
     }
 

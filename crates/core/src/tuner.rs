@@ -130,15 +130,14 @@ where
         let quality = score_encoding(&video, labels);
         explored.push(ConfigScore { config, quality });
     }
-    let best = *explored
-        .iter()
-        .max_by(|a, b| {
-            a.quality
-                .f1
-                .partial_cmp(&b.quality.f1)
-                .expect("F1 scores are finite")
-        })
-        .expect("grid is non-empty");
+    // `>=` keeps the last of tied configs, matching `Iterator::max_by`
+    // semantics so tie-breaking is stable across refactors.
+    let mut best = explored[0];
+    for score in &explored[1..] {
+        if score.quality.f1 >= best.quality.f1 {
+            best = *score;
+        }
+    }
     TuningOutcome { best, explored }
 }
 

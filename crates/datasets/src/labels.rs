@@ -63,7 +63,7 @@ impl ObjectClass {
     /// (buses are bigger than cars, people smaller, etc.).
     pub fn size_factor(self) -> f32 {
         match self {
-            ObjectClass::Car => 1.0,
+            ObjectClass::Car => 1.2,
             ObjectClass::Bus => 1.6,
             ObjectClass::Truck => 1.4,
             ObjectClass::Person => 0.8,

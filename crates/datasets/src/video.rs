@@ -51,8 +51,7 @@ pub struct SyntheticVideo {
 impl SyntheticVideo {
     /// Generates the schedule and background for `config`.
     pub fn generate(config: VideoConfig) -> Self {
-        let base_height =
-            config.object_scale * config.scene.resolution.height() as f32;
+        let base_height = config.object_scale * config.scene.resolution.height() as f32;
         let schedule = Schedule::generate(
             config.schedule,
             &config.classes,
@@ -103,7 +102,7 @@ impl SyntheticVideo {
     /// Panics if `index >= frame_count()`.
     pub fn frame(&self, index: usize) -> Frame {
         assert!(index < self.frame_count(), "frame index out of range");
-        let visible: Vec<_> = self.schedule.visible_at(index).collect();
+        let visible: Vec<_> = self.schedule.renderable_at(index).collect();
         self.renderer.render(index, &visible)
     }
 

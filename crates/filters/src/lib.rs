@@ -30,10 +30,14 @@
 
 pub mod detector;
 pub mod mse;
+pub mod select;
 pub mod sift;
 
 pub use detector::{
     calibrate_threshold, score_sequence, select_frames, ChangeDetector, UniformSampler,
 };
 pub use mse::{mse_luma, MseDetector};
+pub use select::{
+    selector_for, Budget, ChangeSelector, MseSelector, SiftSelector, UniformSelector,
+};
 pub use sift::{SiftConfig, SiftDetector};

@@ -1,0 +1,296 @@
+//! [`FrameSelector`] adapters for the image-similarity baselines.
+//!
+//! These plug the NoScope-style filters into `sieve-core`'s unified
+//! analysis layer: each adapter fully decodes the stream (the cost the
+//! paper charges these baselines), applies its policy, and hands the
+//! selected frames to the generic driver. Adding a baseline to the whole
+//! system is: implement [`FrameSelector`] here, add a
+//! `sieve_core::pipeline::Baseline` registry row for its cost model.
+
+use sieve_core::{FrameSelector, SieveError};
+use sieve_video::{EncodedVideo, Frame};
+
+use crate::detector::{
+    calibrate_threshold, score_sequence, select_frames, ChangeDetector, UniformSampler,
+};
+use crate::mse::MseDetector;
+use crate::sift::SiftDetector;
+
+/// How a threshold baseline picks its operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Budget {
+    /// Use a fixed absolute change-score threshold (e.g. tuned offline on a
+    /// training prefix, the paper's deployment setting).
+    Threshold(f64),
+    /// Calibrate the threshold on this video so that approximately this
+    /// fraction of frames is selected (the paper's matched-sampling
+    /// comparison setting).
+    Fraction(f64),
+}
+
+/// Uniform sampling as a frame selector: decode everything, keep every
+/// `interval`-th frame.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformSelector {
+    sampler: UniformSampler,
+}
+
+impl UniformSelector {
+    /// Selects every `interval`-th frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`.
+    pub fn new(interval: usize) -> Self {
+        Self {
+            sampler: UniformSampler::new(interval),
+        }
+    }
+
+    /// Matches a target selection count for a known video length (the
+    /// paper's budget-matched comparison).
+    pub fn matching_count(total_frames: usize, count: usize) -> Self {
+        Self {
+            sampler: UniformSampler::matching_count(total_frames, count),
+        }
+    }
+
+    /// The underlying sampler.
+    pub fn sampler(&self) -> &UniformSampler {
+        &self.sampler
+    }
+}
+
+impl FrameSelector for UniformSelector {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn select(&mut self, video: &EncodedVideo) -> Result<Vec<(usize, Frame)>, SieveError> {
+        let frames = video.decode_all()?;
+        Ok(self
+            .sampler
+            .select(frames.len())
+            .into_iter()
+            .map(|i| (i, frames[i].clone()))
+            .collect())
+    }
+
+    fn select_indices(&mut self, video: &EncodedVideo) -> Result<Vec<usize>, SieveError> {
+        // The *indices* of uniform sampling need no decoding, but the cost
+        // model still charges the full decode (P-frames chain); see
+        // `SelectorKind::Uniform`.
+        Ok(self.sampler.select(video.frame_count()))
+    }
+}
+
+/// A change-detector baseline (MSE, SIFT, or any [`ChangeDetector`]) as a
+/// frame selector: decode everything, score consecutive pairs, select
+/// frames whose change exceeds the budgeted threshold.
+#[derive(Debug)]
+pub struct ChangeSelector<D: ChangeDetector> {
+    detector: D,
+    budget: Budget,
+    name: &'static str,
+}
+
+impl<D: ChangeDetector> ChangeSelector<D> {
+    /// Wraps `detector` with a selection budget.
+    pub fn new(detector: D, budget: Budget) -> Self {
+        Self {
+            detector,
+            budget,
+            name: "",
+        }
+    }
+
+    fn with_name(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+}
+
+impl<D: ChangeDetector> FrameSelector for ChangeSelector<D> {
+    fn name(&self) -> &'static str {
+        if self.name.is_empty() {
+            self.detector.name()
+        } else {
+            self.name
+        }
+    }
+
+    fn select(&mut self, video: &EncodedVideo) -> Result<Vec<(usize, Frame)>, SieveError> {
+        let frames = video.decode_all()?;
+        Ok(self
+            .score_and_select(&frames)?
+            .into_iter()
+            .map(|i| (i, frames[i].clone()))
+            .collect())
+    }
+
+    fn select_indices(&mut self, video: &EncodedVideo) -> Result<Vec<usize>, SieveError> {
+        // Decode and score, but skip cloning the selected frames — callers
+        // that only need indices (the live driver's up-front policy pass)
+        // would otherwise pay a full-resolution clone per selection.
+        let frames = video.decode_all()?;
+        self.score_and_select(&frames)
+    }
+}
+
+impl<D: ChangeDetector> ChangeSelector<D> {
+    /// Scores the decoded stream and applies the budgeted threshold.
+    fn score_and_select(&mut self, frames: &[Frame]) -> Result<Vec<usize>, SieveError> {
+        if frames.is_empty() {
+            return Ok(Vec::new());
+        }
+        let scores = score_sequence(&mut self.detector, frames);
+        let threshold = match self.budget {
+            Budget::Threshold(t) => t,
+            Budget::Fraction(f) => {
+                if !(0.0..=1.0).contains(&f) || f == 0.0 {
+                    return Err(SieveError::selector(format!(
+                        "target fraction {f} outside (0, 1]"
+                    )));
+                }
+                calibrate_threshold(&scores, frames.len(), f)
+            }
+        };
+        Ok(select_frames(&scores, threshold))
+    }
+}
+
+/// MSE differencing as a frame selector.
+pub type MseSelector = ChangeSelector<MseDetector>;
+
+impl MseSelector {
+    /// MSE with the given budget.
+    pub fn mse(budget: Budget) -> Self {
+        ChangeSelector::new(MseDetector::new(), budget).with_name("mse")
+    }
+}
+
+/// SIFT matching as a frame selector.
+pub type SiftSelector = ChangeSelector<SiftDetector>;
+
+impl SiftSelector {
+    /// SIFT with the given budget.
+    pub fn sift(budget: Budget) -> Self {
+        ChangeSelector::new(SiftDetector::new(), budget).with_name("sift")
+    }
+}
+
+/// Builds the boxed selector for a simulated baseline's
+/// [`sieve_core::SelectorKind`] — the runtime half of the baseline
+/// registry. `budget` applies to threshold baselines; `uniform_interval`
+/// to uniform sampling.
+pub fn selector_for(
+    kind: sieve_core::SelectorKind,
+    budget: Budget,
+    uniform_interval: usize,
+) -> Box<dyn FrameSelector> {
+    match kind {
+        sieve_core::SelectorKind::IFrame => Box::new(sieve_core::IFrameSelector::new()),
+        sieve_core::SelectorKind::Uniform => Box::new(UniformSelector::new(uniform_interval)),
+        sieve_core::SelectorKind::Mse => Box::new(MseSelector::mse(budget)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sieve_core::analyze;
+    use sieve_nn::OracleDetector;
+    use sieve_video::{EncoderConfig, Resolution};
+
+    fn sample_video(frames: usize) -> EncodedVideo {
+        let res = Resolution::new(48, 32);
+        EncodedVideo::encode(
+            res,
+            30,
+            EncoderConfig::new(8, 0),
+            (0..frames).map(move |i| {
+                let mut f = Frame::grey(res);
+                for y in 0..32usize {
+                    for x in 0..48usize {
+                        f.y_mut().put(x, y, ((x * 3 + y * 7) % 200) as u8);
+                    }
+                }
+                if i >= frames / 2 {
+                    // A "scene change" halfway.
+                    for y in 8..24usize {
+                        for x in 8..40usize {
+                            f.y_mut().put(x, y, 240);
+                        }
+                    }
+                }
+                f
+            }),
+        )
+    }
+
+    #[test]
+    fn uniform_selector_picks_every_kth() {
+        let v = sample_video(20);
+        let mut sel = UniformSelector::new(5);
+        assert_eq!(sel.select_indices(&v).unwrap(), vec![0, 5, 10, 15]);
+        let picked = sel.select(&v).unwrap();
+        assert_eq!(picked.len(), 4);
+        assert!(sel.requires_full_decode());
+    }
+
+    #[test]
+    fn mse_selector_finds_the_cut() {
+        let v = sample_video(20);
+        let mut sel = MseSelector::mse(Budget::Fraction(0.1));
+        let indices = sel.select_indices(&v).unwrap();
+        assert!(indices.contains(&0), "frame 0 always selected");
+        assert!(
+            indices.contains(&10),
+            "the scene change at frame 10 must be selected: {indices:?}"
+        );
+    }
+
+    #[test]
+    fn mse_selector_rejects_bad_fraction() {
+        let v = sample_video(8);
+        let mut sel = MseSelector::mse(Budget::Fraction(0.0));
+        assert!(matches!(sel.select(&v), Err(SieveError::Selector(_))));
+    }
+
+    #[test]
+    fn threshold_budget_is_deployable() {
+        let v = sample_video(20);
+        // Calibrate on this video, then redeploy the absolute threshold.
+        let frames = v.decode_all().unwrap();
+        let scores = score_sequence(&mut MseDetector::new(), &frames);
+        let t = calibrate_threshold(&scores, frames.len(), 0.1);
+        let mut sel = MseSelector::mse(Budget::Threshold(t));
+        let indices = sel.select_indices(&v).unwrap();
+        assert_eq!(indices, select_frames(&scores, t));
+    }
+
+    #[test]
+    fn adapters_run_through_generic_driver() {
+        let v = sample_video(24);
+        let labels = vec![sieve_datasets_label(); 24];
+        let mut oracle = OracleDetector::new(labels);
+        for mut sel in [
+            selector_for(sieve_core::SelectorKind::IFrame, Budget::Fraction(0.2), 6),
+            selector_for(sieve_core::SelectorKind::Uniform, Budget::Fraction(0.2), 6),
+            selector_for(sieve_core::SelectorKind::Mse, Budget::Fraction(0.2), 6),
+        ] {
+            let result = analyze(&v, &mut sel, &mut oracle).expect("analysis");
+            assert!(!result.selected.is_empty(), "{} selected none", sel.name());
+            assert_eq!(result.predicted.len(), 24);
+        }
+    }
+
+    fn sieve_datasets_label() -> sieve_datasets::LabelSet {
+        sieve_datasets::LabelSet::empty()
+    }
+}

@@ -167,7 +167,13 @@ mod tests {
     fn blur_reduces_variance() {
         // Checkerboard has maximal high-frequency energy.
         let data: Vec<f32> = (0..32 * 32)
-            .map(|i| if (i / 32 + i % 32) % 2 == 0 { 0.0 } else { 255.0 })
+            .map(|i| {
+                if (i / 32 + i % 32) % 2 == 0 {
+                    0.0
+                } else {
+                    255.0
+                }
+            })
             .collect();
         let img = GrayImage::from_data(32, 32, data);
         let var = |im: &GrayImage| {

@@ -68,7 +68,8 @@ pub fn detect(pyramid: &Pyramid, config: &KeypointConfig) -> Vec<Keypoint> {
                     if !is_extremum(below, here, above, x as i64, y as i64, v) {
                         continue;
                     }
-                    if config.edge_ratio > 0.0 && is_edge(here, x as i64, y as i64, config.edge_ratio)
+                    if config.edge_ratio > 0.0
+                        && is_edge(here, x as i64, y as i64, config.edge_ratio)
                     {
                         continue;
                     }
@@ -157,8 +158,8 @@ mod tests {
         for &(cx, cy) in blobs {
             for y in 0..h {
                 for x in 0..w {
-                    let d2 = ((x as f32 - cx as f32).powi(2) + (y as f32 - cy as f32).powi(2))
-                        / 18.0;
+                    let d2 =
+                        ((x as f32 - cx as f32).powi(2) + (y as f32 - cy as f32).powi(2)) / 18.0;
                     data[y * w + x] += 180.0 * (-d2).exp();
                 }
             }
@@ -194,8 +195,10 @@ mod tests {
             .collect();
         let img = blob_image(112, 96, &blobs);
         let p = Pyramid::build(&img, &PyramidConfig::default());
-        let mut cfg = KeypointConfig::default();
-        cfg.max_keypoints = 4;
+        let cfg = KeypointConfig {
+            max_keypoints: 4,
+            ..KeypointConfig::default()
+        };
         let kps = detect(&p, &cfg);
         assert!(kps.len() <= 4);
     }

@@ -28,7 +28,11 @@ pub struct Match {
 
 /// Brute-force nearest-neighbour matching from `prev` to `cur` with the
 /// ratio test.
-pub fn match_descriptors(prev: &[Descriptor], cur: &[Descriptor], config: &MatchConfig) -> Vec<Match> {
+pub fn match_descriptors(
+    prev: &[Descriptor],
+    cur: &[Descriptor],
+    config: &MatchConfig,
+) -> Vec<Match> {
     let mut matches = Vec::new();
     if cur.is_empty() {
         return matches;
@@ -49,7 +53,10 @@ pub fn match_descriptors(prev: &[Descriptor], cur: &[Descriptor], config: &Match
         }
         // Ratio test on squared distances: ratio^2.
         if cur.len() == 1 || best < config.ratio * config.ratio * second {
-            matches.push(Match { from: i, to: best_j });
+            matches.push(Match {
+                from: i,
+                to: best_j,
+            });
         }
     }
     matches
@@ -77,7 +84,9 @@ mod tests {
         let mut values = [0f32; 128];
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         for v in values.iter_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *v = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
         }
         let norm: f32 = values.iter().map(|x| x * x).sum::<f32>().sqrt();
@@ -114,7 +123,10 @@ mod tests {
         let a: Vec<Descriptor> = (0..8).map(desc).collect();
         let b: Vec<Descriptor> = (100..108).map(desc).collect();
         let score = change_score(&a, &b, &MatchConfig::default());
-        assert!(score > 0.5, "random descriptors should rarely match: {score}");
+        assert!(
+            score > 0.5,
+            "random descriptors should rarely match: {score}"
+        );
     }
 
     #[test]
@@ -139,7 +151,10 @@ mod tests {
         let mut prev = shared;
         prev.extend((300..305).map(desc));
         let score = change_score(&prev, &cur, &MatchConfig::default());
-        assert!(score > 0.2 && score < 0.9, "expected partial score, got {score}");
+        assert!(
+            score > 0.2 && score < 0.9,
+            "expected partial score, got {score}"
+        );
     }
 
     #[test]

@@ -100,8 +100,7 @@ mod tests {
             for x in 0..96usize {
                 // Textured background with some blob structure.
                 let v = 90.0
-                    + 50.0
-                        * ((x as f32 / 13.0).sin() * (y as f32 / 11.0).cos())
+                    + 50.0 * ((x as f32 / 13.0).sin() * (y as f32 / 11.0).cos())
                     + ((x as u64 * 31 + y as u64 * 17 + seed) % 13) as f32;
                 f.y_mut().put(x, y, v.clamp(0.0, 255.0) as u8);
             }
@@ -145,7 +144,7 @@ mod tests {
 
     #[test]
     fn cache_matches_fresh_computation() {
-        let frames = vec![
+        let frames = [
             scene_frame(0, false),
             scene_frame(0, true),
             scene_frame(0, false),

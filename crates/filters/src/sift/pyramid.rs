@@ -76,10 +76,7 @@ impl Pyramid {
                 };
                 images.push(img);
             }
-            let dogs = images
-                .windows(2)
-                .map(|w| w[1].subtract(&w[0]))
-                .collect();
+            let dogs = images.windows(2).map(|w| w[1].subtract(&w[0])).collect();
             octaves.push(Octave {
                 images,
                 dogs,
@@ -150,8 +147,10 @@ mod tests {
     #[should_panic(expected = "3 scales")]
     fn rejects_too_few_scales() {
         let img = textured(64, 64);
-        let mut cfg = PyramidConfig::default();
-        cfg.scales = 2;
+        let cfg = PyramidConfig {
+            scales: 2,
+            ..PyramidConfig::default()
+        };
         let _ = Pyramid::build(&img, &cfg);
     }
 }

@@ -230,11 +230,7 @@ mod tests {
         let mut det = CnnDetector::train_on(&video, 12, &cfg);
         let acc = det.accuracy_on(&video, 12);
         // Baseline: fraction of empty-label frames.
-        let empty_frac = video
-            .labels()
-            .iter()
-            .filter(|l| l.is_empty())
-            .count() as f64
+        let empty_frac = video.labels().iter().filter(|l| l.is_empty()).count() as f64
             / video.frame_count() as f64;
         assert!(
             acc > empty_frac.max(0.5),

@@ -120,8 +120,8 @@ impl Layer for Conv2d {
                                 if sy < 0 || sx < 0 || sy >= h as i64 || sx >= w as i64 {
                                     continue;
                                 }
-                                acc += self.w(o, i, ky, kx)
-                                    * input.at3(i, sy as usize, sx as usize);
+                                acc +=
+                                    self.w(o, i, ky, kx) * input.at3(i, sy as usize, sx as usize);
                             }
                         }
                     }
@@ -296,11 +296,7 @@ impl Layer for MaxPool2 {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let shape = self.output_shape(input.shape());
         let (c, oh, ow) = (shape[0], shape[1], shape[2]);
-        let (_, _, iw) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-        );
+        let (_, _, iw) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         let mut out = Tensor::zeros(&shape);
         let mut argmax = vec![0usize; out.len()];
         for ch in 0..c {

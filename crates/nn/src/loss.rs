@@ -22,7 +22,11 @@ pub fn sigmoid(x: f32) -> f32 {
 ///
 /// Panics if lengths differ.
 pub fn bce_with_logits(logits: &Tensor, targets: &[f32]) -> (f32, Tensor) {
-    assert_eq!(logits.len(), targets.len(), "logits/targets length mismatch");
+    assert_eq!(
+        logits.len(),
+        targets.len(),
+        "logits/targets length mismatch"
+    );
     let n = logits.len() as f32;
     let mut grad = Tensor::zeros(logits.shape());
     let mut loss = 0.0f32;

@@ -179,8 +179,7 @@ mod tests {
         let a = Tensor::he_init(&[64, 64], 64, 42);
         let b = Tensor::he_init(&[64, 64], 64, 42);
         assert_eq!(a, b);
-        let var: f32 =
-            a.data().iter().map(|v| v * v).sum::<f32>() / a.len() as f32;
+        let var: f32 = a.data().iter().map(|v| v * v).sum::<f32>() / a.len() as f32;
         let expect = 2.0 / 64.0;
         assert!(
             (var - expect).abs() < expect,

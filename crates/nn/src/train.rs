@@ -88,7 +88,12 @@ pub fn train_multilabel(
 
 /// Predicted per-class probabilities for one input.
 pub fn predict_probs(model: &mut Sequential, input: &Tensor) -> Vec<f32> {
-    model.forward(input).data().iter().map(|&z| sigmoid(z)).collect()
+    model
+        .forward(input)
+        .data()
+        .iter()
+        .map(|&z| sigmoid(z))
+        .collect()
 }
 
 /// Exact-set accuracy over `samples`: a sample counts as correct when every

@@ -103,11 +103,7 @@ impl LiveReport {
 ///
 /// Panics if `stages` is empty, `capacity` is zero, or a stage thread
 /// panics.
-pub fn run_live(
-    stages: Vec<LiveStage>,
-    items: Vec<LiveItem>,
-    capacity: usize,
-) -> LiveReport {
+pub fn run_live(stages: Vec<LiveStage>, items: Vec<LiveItem>, capacity: usize) -> LiveReport {
     assert!(!stages.is_empty(), "live pipeline needs stages");
     assert!(capacity > 0, "channel capacity must be positive");
     let n = stages.len();
@@ -209,7 +205,7 @@ mod tests {
     #[test]
     fn filtering_stage_drops_items() {
         let stages = vec![LiveStage::compute("even-only", |it: LiveItem| {
-            if it.id % 2 == 0 {
+            if it.id.is_multiple_of(2) {
                 Some(it)
             } else {
                 None

@@ -153,11 +153,7 @@ impl Pipeline {
                     self.report.stage_bytes[i] += bytes;
                     (*bytes as f64 * 8.0) / bandwidth_bps + latency_secs
                 }
-                (w, s) => panic!(
-                    "work kind {:?} does not match stage '{}'",
-                    w,
-                    s.name()
-                ),
+                (w, s) => panic!("work kind {:?} does not match stage '{}'", w, s.name()),
             };
             let start = t.max(self.free_at[i]);
             let finish = start + service;
@@ -270,10 +266,7 @@ mod tests {
     #[should_panic(expected = "does not match stage")]
     fn mismatched_work_kind_panics() {
         let mut p = two_stage();
-        p.submit(
-            0.0,
-            &[StepWork::Transfer { bytes: 1 }, StepWork::Skip],
-        );
+        p.submit(0.0, &[StepWork::Transfer { bytes: 1 }, StepWork::Skip]);
     }
 
     #[test]

@@ -177,7 +177,7 @@ impl<'a> BitReader<'a> {
     pub fn read_se(&mut self) -> Result<i64, ReadBitsError> {
         let v = self.read_ue()?;
         if v % 2 == 1 {
-            Ok(((v + 1) / 2) as i64)
+            Ok(v.div_ceil(2) as i64)
         } else {
             Ok(-((v / 2) as i64))
         }

@@ -155,14 +155,11 @@ impl EncodedVideo {
     ///
     /// # Errors
     ///
-    /// Returns [`DecodeError::NotAnIFrame`] if the frame at `index` is a
+    /// Returns [`DecodeError::FrameOutOfRange`] if `index` is outside the
+    /// stream, [`DecodeError::NotAnIFrame`] if the frame at `index` is a
     /// P-frame, or a bitstream error on corruption.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of bounds.
     pub fn decode_iframe_at(&self, index: usize) -> Result<Frame, DecodeError> {
-        let ef = &self.frames[index];
+        let ef = self.frames.get(index).ok_or(DecodeError::FrameOutOfRange)?;
         if ef.frame_type != FrameType::I {
             return Err(DecodeError::NotAnIFrame);
         }
@@ -182,9 +179,7 @@ impl EncodedVideo {
 
     /// Serializes to the `SEV1` byte format: header, frame table, payloads.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(
-            16 + self.frames.len() * 5 + self.total_bytes() as usize,
-        );
+        let mut out = Vec::with_capacity(16 + self.frames.len() * 5 + self.total_bytes() as usize);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&self.resolution.width().to_le_bytes());
         out.extend_from_slice(&self.resolution.height().to_le_bytes());
@@ -266,9 +261,7 @@ impl VideoIndex {
         let quality = bytes[16];
         let count = rd_u32(17) as usize;
         let table_start = 21;
-        let table_len = count
-            .checked_mul(5)
-            .ok_or(ContainerError::Truncated)?;
+        let table_len = count.checked_mul(5).ok_or(ContainerError::Truncated)?;
         if bytes.len() < table_start + table_len {
             return Err(ContainerError::Truncated);
         }

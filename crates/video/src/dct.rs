@@ -24,10 +24,7 @@ fn basis() -> &'static [[f32; BLOCK]; BLOCK] {
             };
             for (n, v) in row.iter_mut().enumerate() {
                 *v = scale
-                    * ((std::f32::consts::PI / BLOCK as f32)
-                        * (n as f32 + 0.5)
-                        * k as f32)
-                        .cos();
+                    * ((std::f32::consts::PI / BLOCK as f32) * (n as f32 + 0.5) * k as f32).cos();
             }
         }
         b

@@ -28,6 +28,8 @@ pub enum DecodeError {
     MissingReference,
     /// [`Decoder::decode_iframe`] was handed a frame that is not an I-frame.
     NotAnIFrame,
+    /// A requested frame index is outside the stream.
+    FrameOutOfRange,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -38,6 +40,7 @@ impl std::fmt::Display for DecodeError {
                 write!(f, "P-frame received before any I-frame reference")
             }
             DecodeError::NotAnIFrame => write!(f, "independent decode requires an I-frame"),
+            DecodeError::FrameOutOfRange => write!(f, "frame index outside the stream"),
         }
     }
 }
@@ -195,15 +198,39 @@ fn decode_p(
             // Luma 2x2 blocks.
             for by in 0..2 {
                 for bx in 0..2 {
-                    decode_inter_block(&mut r, luma_q, reference.y(), frame.y_mut(), x / 8 + bx, y / 8 + by, mv)?;
+                    decode_inter_block(
+                        &mut r,
+                        luma_q,
+                        reference.y(),
+                        frame.y_mut(),
+                        x / 8 + bx,
+                        y / 8 + by,
+                        mv,
+                    )?;
                 }
             }
             let cmv = MotionVector {
                 dx: mv.dx / 2,
                 dy: mv.dy / 2,
             };
-            decode_inter_block(&mut r, chroma_q, reference.u(), frame.u_mut(), x / 16, y / 16, cmv)?;
-            decode_inter_block(&mut r, chroma_q, reference.v(), frame.v_mut(), x / 16, y / 16, cmv)?;
+            decode_inter_block(
+                &mut r,
+                chroma_q,
+                reference.u(),
+                frame.u_mut(),
+                x / 16,
+                y / 16,
+                cmv,
+            )?;
+            decode_inter_block(
+                &mut r,
+                chroma_q,
+                reference.v(),
+                frame.v_mut(),
+                x / 16,
+                y / 16,
+                cmv,
+            )?;
         }
     }
     Ok(frame)
@@ -361,7 +388,10 @@ mod tests {
     #[test]
     fn error_display_messages() {
         assert!(DecodeError::Bitstream.to_string().contains("bitstream"));
-        assert!(DecodeError::MissingReference.to_string().contains("I-frame"));
+        assert!(DecodeError::MissingReference
+            .to_string()
+            .contains("I-frame"));
         assert!(DecodeError::NotAnIFrame.to_string().contains("I-frame"));
+        assert!(DecodeError::FrameOutOfRange.to_string().contains("index"));
     }
 }

@@ -167,6 +167,12 @@ pub struct Encoder {
     luma_q: QuantTable,
     chroma_q: QuantTable,
     reference: Option<Frame>,
+    /// Half-resolution luma of the previous *source* frame. The scenecut
+    /// lookahead compares source against source, like x264's lowres
+    /// lookahead: comparing against the reconstruction instead would make
+    /// every large change echo for several frames while the closed loop's
+    /// quantization error settles, polluting the scenecut signal.
+    lookahead_ref: Option<Plane>,
     frames_since_i: usize,
     decisions: Vec<FrameDecision>,
 }
@@ -180,6 +186,7 @@ impl Encoder {
             config,
             resolution,
             reference: None,
+            lookahead_ref: None,
             frames_since_i: 0,
             decisions: Vec::new(),
         }
@@ -206,18 +213,26 @@ impl Encoder {
             self.resolution,
             "frame resolution changed mid-stream"
         );
-        let (frame_type, decision) = self.decide(frame);
-        let encoded = match frame_type {
-            FrameType::I => self.encode_i(frame),
-            FrameType::P => self.encode_p(frame),
+        let cur_half = lookahead_plane(frame);
+        let (frame_type, mut decision) = self.decide(&cur_half);
+        // `decide` only returns P when a reference exists; if that invariant
+        // is ever violated, degrade to an I-frame rather than panicking.
+        let encoded = match (frame_type, &self.reference) {
+            (FrameType::P, Some(_)) => self.encode_p(frame),
+            (FrameType::P, None) | (FrameType::I, _) => {
+                decision.frame_type = FrameType::I;
+                self.encode_i(frame)
+            }
         };
+        self.lookahead_ref = Some(cur_half);
         self.decisions.push(decision);
         encoded
     }
 
-    /// Decides I vs P for `frame` using the GOP limit and the scenecut rule.
-    fn decide(&self, frame: &Frame) -> (FrameType, FrameDecision) {
-        let Some(reference) = &self.reference else {
+    /// Decides I vs P for the frame whose half-resolution luma is
+    /// `cur_half`, using the GOP limit and the scenecut rule.
+    fn decide(&self, cur_half: &Plane) -> (FrameType, FrameDecision) {
+        let Some(reference) = &self.lookahead_ref else {
             return (
                 FrameType::I,
                 FrameDecision {
@@ -233,7 +248,7 @@ impl Encoder {
         let dist = self.frames_since_i + 1;
         if dist >= self.config.gop_size {
             // GOP limit: the ratio is still measured for diagnostics.
-            let agg = self.frame_motion(frame, reference);
+            let agg = self.frame_motion(cur_half, reference);
             return (
                 FrameType::I,
                 FrameDecision {
@@ -244,7 +259,7 @@ impl Encoder {
                 },
             );
         }
-        let agg = self.frame_motion(frame, reference);
+        let agg = self.frame_motion(cur_half, reference);
         // The lookahead's intra estimate is raw texture energy; a real
         // encoder intra-predicts first, so its intra cost is considerably
         // smaller. Scale ours down to match, which centres useful scenecut
@@ -269,18 +284,11 @@ impl Encoder {
         )
     }
 
-    /// Scenecut lookahead cost analysis, run at half resolution like x264's
-    /// lowres lookahead: 2x2 box downsampling averages sensor noise down
-    /// (halving its SAD contribution) while coherent object motion survives,
-    /// which is what makes the scenecut threshold separate "new object"
-    /// from "noise floor".
-    fn frame_motion(&self, frame: &Frame, reference: &Frame) -> FrameMotion {
-        let w = (frame.y().width() / 2).max(16);
-        let h = (frame.y().height() / 2).max(16);
-        let cur_half = frame.y().resize_box(w, h);
-        let ref_half = reference.y().resize_box(w, h);
+    /// Scenecut lookahead cost analysis over half-resolution source planes
+    /// (see [`lookahead_plane`]).
+    fn frame_motion(&self, cur_half: &Plane, ref_half: &Plane) -> FrameMotion {
         let (_, agg) =
-            motion::analyze_frame(&cur_half, &ref_half, (self.config.search_range / 2).max(4));
+            motion::analyze_frame(cur_half, ref_half, (self.config.search_range / 2).max(4));
         agg
     }
 
@@ -299,10 +307,13 @@ impl Encoder {
     }
 
     fn encode_p(&mut self, frame: &Frame) -> EncodedFrame {
+        // Caller (`encode_frame`) routes to `encode_i` when no reference
+        // exists; an empty reference here would still produce a valid (if
+        // wasteful) all-intra-predicted P-frame against a grey frame.
         let reference = self
             .reference
             .clone()
-            .expect("P-frame requires a reference");
+            .unwrap_or_else(|| Frame::grey(self.resolution));
         let mut w = BitWriter::new();
         let mut recon = Frame::grey(self.resolution);
         let skip_thresh = (self.config.skip_threshold_per_pixel * (MB * MB) as f32) as u32;
@@ -342,6 +353,7 @@ impl Encoder {
 
     /// Codes the residual of one inter macroblock: four 8x8 luma blocks plus
     /// one 8x8 block per chroma plane, each preceded by a coded-block flag.
+    #[allow(clippy::too_many_arguments)]
     fn code_inter_mb(
         &self,
         frame: &Frame,
@@ -396,6 +408,17 @@ impl Encoder {
             w,
         );
     }
+}
+
+/// Builds the lookahead's half-resolution luma for one source frame, as
+/// x264's lowres lookahead does: 2x2 box downsampling averages sensor noise
+/// down (halving its SAD contribution) while coherent object motion
+/// survives, which is what makes the scenecut threshold separate "new
+/// object" from "noise floor".
+fn lookahead_plane(frame: &Frame) -> Plane {
+    let w = (frame.y().width() / 2).max(16);
+    let h = (frame.y().height() / 2).max(16);
+    frame.y().resize_box(w, h)
 }
 
 /// Copies a motion-compensated macroblock (luma + both chroma planes) from
@@ -651,9 +674,15 @@ mod tests {
                 .filter(|f| enc.encode_frame(f).frame_type == FrameType::I)
                 .count()
         };
-        let counts: Vec<usize> = [0u16, 100, 200, 300, 400].iter().map(|&s| count_i(s)).collect();
+        let counts: Vec<usize> = [0u16, 100, 200, 300, 400]
+            .iter()
+            .map(|&s| count_i(s))
+            .collect();
         for w in counts.windows(2) {
-            assert!(w[0] <= w[1], "I-frame count must grow with scenecut: {counts:?}");
+            assert!(
+                w[0] <= w[1],
+                "I-frame count must grow with scenecut: {counts:?}"
+            );
         }
     }
 

@@ -36,7 +36,7 @@ impl Resolution {
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "resolution must be non-zero");
         assert!(
-            width % 2 == 0 && height % 2 == 0,
+            width.is_multiple_of(2) && height.is_multiple_of(2),
             "4:2:0 frames require even dimensions, got {width}x{height}"
         );
         Self { width, height }
@@ -170,8 +170,7 @@ impl Plane {
         let y0 = by * 8;
         for dy in 0..8 {
             for dx in 0..8 {
-                out[dy * 8 + dx] =
-                    self.sample_clamped((x0 + dx) as i64, (y0 + dy) as i64) as i32;
+                out[dy * 8 + dx] = self.sample_clamped((x0 + dx) as i64, (y0 + dy) as i64) as i32;
             }
         }
     }
@@ -214,7 +213,7 @@ impl Plane {
                         n += 1;
                     }
                 }
-                out[oy * new_w + ox] = if n == 0 { 0 } else { (acc / n) as u8 };
+                out[oy * new_w + ox] = acc.checked_div(n).unwrap_or(0) as u8;
             }
         }
         Plane::from_data(new_w, new_h, out)

@@ -120,7 +120,7 @@ pub fn three_step_search(
     let zero_sad = sad_mb(cur, reference, x, y, MotionVector::ZERO);
     let mut best = MotionVector::ZERO;
     let mut best_sad = zero_sad;
-    let mut step = (range.max(1) as u16).next_power_of_two() as i16 / 2;
+    let mut step = range.max(1).next_power_of_two() as i16 / 2;
     if step == 0 {
         step = 1;
     }

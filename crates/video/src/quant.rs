@@ -96,8 +96,8 @@ mod tests {
     #[test]
     fn quality_fifty_is_base() {
         let t = QuantTable::luma(50);
-        for i in 0..BLOCK_LEN {
-            assert_eq!(t.step(i), BASE_LUMA[i]);
+        for (i, &base) in BASE_LUMA.iter().enumerate() {
+            assert_eq!(t.step(i), base);
         }
     }
 

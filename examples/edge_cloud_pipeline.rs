@@ -2,18 +2,17 @@
 //!
 //! Unlike the discrete-event experiments, this example executes the actual
 //! dataflow on OS threads with back-pressured channels (the NiFi role) and a
-//! bandwidth-throttled edge→cloud link: the camera stage emits encoded
-//! frames, the edge stage seeks I-frames (dropping P-frames), decodes and
-//! resizes them, and the cloud stage runs the trained CNN and collects
-//! `(frame, labels)` tuples.
+//! bandwidth-throttled edge→cloud link — through the one generic driver
+//! `sieve_core::run_live_analysis`, which works for *any* `FrameSelector` +
+//! `ObjectDetector` pair. It first deploys SiEVE (I-frame seeking at the
+//! edge, trained CNN in the cloud), then swaps in a uniform-sampling edge at
+//! the same analysis budget to show the unified path — the only difference
+//! between deployments is the selector value.
 //!
 //! Run with: `cargo run --release --example edge_cloud_pipeline`
 
-use std::sync::{Arc, Mutex};
-
 use sieve::prelude::*;
-use sieve_nn::frame_to_tensor;
-use sieve_video::{Decoder, EncodedVideo};
+use sieve_video::EncodedVideo;
 
 fn main() {
     // Dataset + semantic encoding.
@@ -25,8 +24,6 @@ fn main() {
         EncoderConfig::new(300, 200),
         video.frames(),
     );
-    let res = encoded.resolution();
-    let quality = encoded.quality();
     println!(
         "encoded {} frames, {} I-frames, {} KB",
         encoded.frame_count(),
@@ -44,93 +41,49 @@ fn main() {
             seed: 42,
         },
     );
-    println!("trained reference CNN ({} params)", detector.model().param_count());
-    let detector = Arc::new(Mutex::new(detector));
-    let results: Arc<Mutex<Vec<(u64, LabelSet)>>> = Arc::default();
-
-    // Stage 1 (edge): I-frame seeker — drops every non-I frame by metadata
-    // alone, decodes survivors, resizes them to the NN input.
-    let edge = {
-        LiveStage::compute("edge: seek+decode+resize", move |item: LiveItem| {
-            // tag carries the frame type: 0 = I, 1 = P (the container
-            // metadata); payload is the encoded frame.
-            if item.tag != 0 {
-                return None; // P-frame: filtered at the edge
-            }
-            let frame = Decoder::decode_iframe(res, quality, &item.payload)
-                .expect("I-frame decode");
-            let small = frame.resize(Resolution::new(32, 32));
-            let mut bytes = Vec::with_capacity(small.raw_bytes());
-            bytes.extend_from_slice(small.y().data());
-            bytes.extend_from_slice(small.u().data());
-            bytes.extend_from_slice(small.v().data());
-            Some(LiveItem {
-                id: item.id,
-                payload: bytes,
-                tag: 0,
-            })
-        })
-    };
-
-    // Stage 2: the 30 Mbps WAN.
-    let wan = LiveStage::link("edge->cloud WAN (30 Mbps)", 30.0e6);
-
-    // Stage 3 (cloud): CNN inference, storing (frame id, labels).
-    let cloud = {
-        let detector = detector.clone();
-        let results = results.clone();
-        LiveStage::compute("cloud: NN inference", move |item: LiveItem| {
-            // Rebuild the small frame from raw planes.
-            let small_res = Resolution::new(32, 32);
-            let (ylen, clen) = (small_res.luma_len(), small_res.chroma_len());
-            let y = sieve_video::Plane::from_data(32, 32, item.payload[..ylen].to_vec());
-            let u =
-                sieve_video::Plane::from_data(16, 16, item.payload[ylen..ylen + clen].to_vec());
-            let v = sieve_video::Plane::from_data(
-                16,
-                16,
-                item.payload[ylen + clen..ylen + 2 * clen].to_vec(),
-            );
-            let frame = Frame::from_planes(small_res, y, u, v);
-            let tensor = frame_to_tensor(&frame);
-            let _ = tensor; // the detector resizes internally from the frame
-            let labels = detector.lock().unwrap().detect(item.id as usize, &frame);
-            results.lock().unwrap().push((item.id, labels));
-            Some(item)
-        })
-    };
-
-    // Feed: every encoded frame, tagged with its type.
-    let items: Vec<LiveItem> = encoded
-        .frames()
-        .iter()
-        .enumerate()
-        .map(|(i, ef)| LiveItem {
-            id: i as u64,
-            payload: ef.data.clone(),
-            tag: match ef.frame_type {
-                FrameType::I => 0,
-                FrameType::P => 1,
-            },
-        })
-        .collect();
-    let total = items.len() as u64;
-
-    let report = run_live(vec![edge, wan, cloud], items, 16);
     println!(
-        "\nlive run: {} frames in {:.2?} -> {:.0} frames/s end to end",
-        total,
-        report.wall,
-        total as f64 / report.wall.as_secs_f64()
-    );
-    println!(
-        "  edge filtered out {} P-frames; {} I-frames crossed the WAN ({} bytes)",
-        report.dropped, report.delivered, report.delivered_bytes
+        "trained reference CNN ({} params)",
+        detector.model().param_count()
     );
 
-    let results = results.lock().unwrap();
-    println!("  cloud stored {} (frame, labels) tuples; first few:", results.len());
-    for (id, labels) in results.iter().take(5) {
-        println!("    frame {id:4}: {labels}");
+    // The paper's live topology: 30 Mbps WAN, bounded channels.
+    let config = LiveConfig::default();
+
+    // Deployment 1 — SiEVE: the edge drops every non-I frame by container
+    // metadata alone, decodes survivors independently, resizes them; the
+    // cloud runs the CNN and stores (frame id, labels) tuples.
+    let mut sieve_selector = IFrameSelector::new();
+    let live = run_live_analysis(&encoded, &mut sieve_selector, detector, &config)
+        .expect("live SiEVE run");
+    report("SiEVE (I-frame edge + cloud CNN)", &video, &live);
+
+    // Deployment 2 — same driver, uniform-sampling edge at the same
+    // analysis budget, oracle cloud. One changed value, not new glue.
+    let budget = encoded.i_frame_indices().len();
+    let mut uniform = UniformSelector::matching_count(encoded.frame_count(), budget);
+    let oracle = OracleDetector::for_video(&video);
+    let live =
+        run_live_analysis(&encoded, &mut uniform, oracle, &config).expect("live uniform run");
+    report("Uniform edge + cloud oracle", &video, &live);
+}
+
+fn report(name: &str, video: &SyntheticVideo, live: &LiveAnalysis) {
+    let acc = sieve_core::label_accuracy(video.labels(), &live.result.predicted);
+    println!(
+        "\n{name}\n  {} frames crossed the WAN ({} bytes), {} filtered at the edge\n  \
+         wall {:.2?} -> {:.0} frames/s end to end\n  \
+         per-frame label accuracy {:.1}%, sampling {:.2}%",
+        live.report.delivered,
+        live.report.delivered_bytes,
+        live.report.dropped,
+        live.report.wall,
+        video.frame_count() as f64 / live.report.wall.as_secs_f64(),
+        100.0 * acc,
+        100.0 * live.result.sampling_rate(),
+    );
+    print!("  first tuples:");
+    for (id, labels) in live.result.selected.iter().take(4) {
+        print!(" ({id}, {labels})");
     }
+    println!();
 }

@@ -25,7 +25,10 @@ fn main() {
     let shapes = model.activation_shapes(&input_shape);
     let flops = model.layer_flops(&input_shape);
     let bytes = model.activation_bytes(&input_shape);
-    println!("{:<4} {:<10} {:>12} {:>16}", "idx", "layer", "kFLOPs", "activation (B)");
+    println!(
+        "{:<4} {:<10} {:>12} {:>16}",
+        "idx", "layer", "kFLOPs", "activation (B)"
+    );
     println!("{:<4} {:<10} {:>12} {:>16}", "-", "input", "-", bytes[0]);
     for (i, layer) in model.layers().iter().enumerate() {
         println!(
@@ -39,7 +42,10 @@ fn main() {
     let _ = shapes;
 
     // Sweep WAN bandwidth and report the best split.
-    println!("\n{:>10}  {:>5}  {:>12}  {:>10}", "WAN", "split", "transfer (B)", "latency");
+    println!(
+        "\n{:>10}  {:>5}  {:>12}  {:>10}",
+        "WAN", "split", "transfer (B)", "latency"
+    );
     for mbps in [1.0, 5.0, 30.0, 100.0, 1000.0] {
         let tiers = TierSpec {
             bandwidth_bytes_per_sec: mbps * 1e6 / 8.0,

@@ -26,23 +26,29 @@ fn main() {
     // Encode with the default parameters the paper quotes (GOP 250,
     // scenecut 40) and with semantically tuned ones (long GOP, sensitive
     // scenecut).
-    for (name, config) in [
-        ("default  (GOP 250, sc 40)", EncoderConfig::x264_default()),
-        ("semantic (GOP 300, sc 200)", EncoderConfig::new(300, 200)),
+    let semantic = EncodedVideo::encode(
+        video.resolution(),
+        video.fps(),
+        EncoderConfig::new(300, 200),
+        video.frames(),
+    );
+    let default = EncodedVideo::encode(
+        video.resolution(),
+        video.fps(),
+        EncoderConfig::x264_default(),
+        video.frames(),
+    );
+    for (name, encoded) in [
+        ("default  (GOP 250, sc 40)", &default),
+        ("semantic (GOP 300, sc 200)", &semantic),
     ] {
-        let encoded = EncodedVideo::encode(
-            video.resolution(),
-            video.fps(),
-            config,
-            video.frames(),
-        );
-        let stats = BitstreamStats::from_video(&encoded);
+        let stats = BitstreamStats::from_video(encoded);
 
         // SiEVE's analysis path: scan metadata, decode I-frames only, run
         // the NN on those, propagate labels everywhere else.
         let mut nn = OracleDetector::for_video(&video);
-        let result = analyze_sieve(&encoded, &mut nn).expect("analysis");
-        let quality = score_encoding(&encoded, video.labels());
+        let result = analyze_sieve(encoded, &mut nn).expect("analysis");
+        let quality = score_encoding(encoded, video.labels());
 
         println!(
             "\n{name}\n  i-frames: {:4} / {} ({:.2}% sampled)\n  \
@@ -62,4 +68,33 @@ fn main() {
         "\nThe semantic configuration reaches near-perfect accuracy while \
          decoding only the I-frames it placed on event boundaries."
     );
+
+    // Every baseline runs through the same generic driver: swap the
+    // selector, keep everything else.
+    let encoded = semantic;
+    let budget = encoded.i_frame_indices().len().max(1);
+    let fraction = budget as f64 / encoded.frame_count().max(1) as f64;
+    let mut selectors: Vec<Box<dyn FrameSelector>> = vec![
+        Box::new(IFrameSelector::new()),
+        Box::new(UniformSelector::matching_count(
+            encoded.frame_count(),
+            budget,
+        )),
+        Box::new(MseSelector::mse(Budget::Fraction(fraction))),
+    ];
+    println!("\nall baselines, one driver (matched to {budget} analysed frames):");
+    for selector in &mut selectors {
+        let mut nn = OracleDetector::for_video(&video);
+        let result = analyze(&encoded, selector, &mut nn).expect("analysis");
+        let quality = score_selection(
+            video.labels(),
+            &result.selected.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+        );
+        println!(
+            "  {:8} accuracy {:.1}%  sampling {:.2}%",
+            selector.name(),
+            100.0 * quality.accuracy,
+            100.0 * quality.sampling_rate,
+        );
+    }
 }

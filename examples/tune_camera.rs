@@ -32,13 +32,9 @@ fn main() {
 
         // Train on the first half.
         let train_labels = &video.labels()[..half];
-        let outcome = tune(
-            video.resolution(),
-            video.fps(),
-            &grid,
-            train_labels,
-            || video.frames().take(half),
-        );
+        let outcome = tune(video.resolution(), video.fps(), &grid, train_labels, || {
+            video.frames().take(half)
+        });
         let best = outcome.best;
         println!(
             "{id}: best = GOP {}, scenecut {} | train acc {:.1}% fr {:.1}% F1 {:.3}",
@@ -51,12 +47,8 @@ fn main() {
 
         // Evaluate on the unseen second half.
         let eval_frames = (half..n).map(|i| video.frame(i));
-        let eval_video = EncodedVideo::encode(
-            video.resolution(),
-            video.fps(),
-            best.config,
-            eval_frames,
-        );
+        let eval_video =
+            EncodedVideo::encode(video.resolution(), video.fps(), best.config, eval_frames);
         let eval_quality = score_encoding(&eval_video, &video.labels()[half..]);
         println!(
             "{:width$}  eval  acc {:.1}% fr {:.1}% F1 {:.3}",
@@ -74,13 +66,20 @@ fn main() {
     let path = std::env::temp_dir().join("sieve_lookup.json");
     let file = std::fs::File::create(&path).expect("create lookup file");
     table.save(file).expect("save lookup table");
-    println!("\nlookup table with {} cameras written to {}", table.len(), path.display());
+    println!(
+        "\nlookup table with {} cameras written to {}",
+        table.len(),
+        path.display()
+    );
 
     // And read it back, as the online stage does.
-    let loaded = LookupTable::load(std::fs::File::open(&path).expect("open"))
-        .expect("load lookup table");
+    let loaded =
+        LookupTable::load(std::fs::File::open(&path).expect("open")).expect("load lookup table");
     assert_eq!(loaded, table);
     for (camera, cfg) in loaded.iter() {
-        println!("  {camera}: GOP {}, scenecut {}", cfg.gop_size, cfg.scenecut);
+        println!(
+            "  {camera}: GOP {}, scenecut {}",
+            cfg.gop_size, cfg.scenecut
+        );
     }
 }

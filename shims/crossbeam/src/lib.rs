@@ -1,0 +1,98 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::channel::{bounded, Sender, Receiver}` over
+//! `std::sync::mpsc::sync_channel`. Only the blocking send/recv/iterate
+//! surface the workspace uses is exposed; `select!` and the lock-free
+//! collections are out of scope.
+
+/// Multi-producer single-consumer channels with bounded capacity.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side has hung up.
+    pub type SendError<T> = mpsc::SendError<T>;
+    /// Error returned when the sending side has hung up.
+    pub type RecvError = mpsc::RecvError;
+
+    /// The sending half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued (back-pressure) or the
+        /// receiver is gone.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message back if the receiving side disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message.
+        ///
+        /// # Errors
+        ///
+        /// Fails once every sender is gone and the buffer is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocking iterator that ends when all senders are gone.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Creates a channel that holds at most `capacity` in-flight messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn backpressure_and_drain() {
+        let (tx, rx) = bounded::<u64>(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).expect("receiver alive");
+            }
+        });
+        let got: Vec<u64> = rx.iter().collect();
+        producer.join().expect("no panic");
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = bounded::<u64>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

@@ -43,17 +43,19 @@ pub use sieve_video as video;
 /// The most commonly used items across all subsystems.
 pub mod prelude {
     pub use sieve_core::{
-        analyze_selected, analyze_sieve, f1_score, score_encoding, score_selection,
-        simulate_all, simulate_baseline, tune, AnalysisResult, Baseline, ConfigGrid,
-        DetectionQuality, IFrameSeeker, LookupTable, TuningOutcome,
+        analyze, analyze_selected, analyze_sieve, f1_score, run_live_analysis, score_encoding,
+        score_selection, simulate_all, simulate_baseline, tune, AnalysisResult, Baseline,
+        BaselineSpec, ConfigGrid, Deployment, DetectionQuality, FrameSelector, IFrameSeeker,
+        IFrameSelector, LiveAnalysis, LiveConfig, LookupTable, SelectorKind, SieveError,
+        TuningOutcome,
     };
     pub use sieve_datasets::{
         segment_events, DatasetId, DatasetScale, DatasetSpec, Event, LabelSet, ObjectClass,
         SyntheticVideo,
     };
     pub use sieve_filters::{
-        calibrate_threshold, score_sequence, select_frames, ChangeDetector, MseDetector,
-        SiftDetector, UniformSampler,
+        calibrate_threshold, score_sequence, select_frames, selector_for, Budget, ChangeDetector,
+        MseDetector, MseSelector, SiftDetector, SiftSelector, UniformSampler, UniformSelector,
     };
     pub use sieve_nn::{
         best_split, reference_model, CnnDetector, ObjectDetector, OracleDetector, TierSpec,

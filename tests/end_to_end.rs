@@ -158,8 +158,7 @@ fn cnn_detector_in_the_analysis_path() {
 /// workload comes from real (tiny) encodes and measurements.
 #[test]
 fn end_to_end_orderings_hold_on_measured_workload() {
-    let workloads =
-        vec![sieve_bench_harness_workload()];
+    let workloads = vec![sieve_bench_harness_workload()];
     let outcomes = simulate_all(&workloads, &ThreeTier::paper_default());
     let get = |b: Baseline| {
         outcomes
@@ -187,9 +186,5 @@ fn end_to_end_orderings_hold_on_measured_workload() {
 /// Builds a measured workload from the tiny Jackson dataset (helper; uses
 /// the bench harness through the public API).
 fn sieve_bench_harness_workload() -> sieve_core::VideoWorkload {
-    sieve_bench::harness::build_workload(
-        DatasetId::JacksonSquare,
-        DatasetScale::Tiny,
-        100_000,
-    )
+    sieve_bench::harness::build_workload(DatasetId::JacksonSquare, DatasetScale::Tiny, 100_000)
 }

@@ -89,8 +89,12 @@ fn wrong_quality_decodes_but_degrades() {
     // wrong sample values — the classic mismatched-decoder behaviour.
     let video = sample_video();
     let first_i = video.i_frame_indices()[0];
-    let right = Decoder::decode_iframe(video.resolution(), video.quality(), &video.frames()[first_i].data)
-        .expect("decodes");
+    let right = Decoder::decode_iframe(
+        video.resolution(),
+        video.quality(),
+        &video.frames()[first_i].data,
+    )
+    .expect("decodes");
     let wrong = Decoder::decode_iframe(video.resolution(), 10, &video.frames()[first_i].data)
         .expect("still decodes");
     assert_ne!(right, wrong);

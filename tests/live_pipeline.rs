@@ -1,10 +1,9 @@
 //! Integration test: the *live* threaded 3-tier pipeline carrying real
-//! encoded frames through seek → WAN → detect, end to end.
-
-use std::sync::{Arc, Mutex};
+//! encoded frames through select → WAN → detect, end to end, via the
+//! generic `run_live_analysis` driver.
 
 use sieve::prelude::*;
-use sieve_video::{Decoder, EncodedVideo};
+use sieve_video::EncodedVideo;
 
 #[test]
 fn live_three_tier_pipeline_detects_events() {
@@ -15,88 +14,78 @@ fn live_three_tier_pipeline_detects_events() {
         EncoderConfig::new(300, 150),
         video.frames(),
     );
-    let res = encoded.resolution();
-    let quality = encoded.quality();
     let expected_i = encoded.i_frame_indices().len();
-    let labels = Arc::new(video.labels().to_vec());
-    let results: Arc<Mutex<Vec<(u64, LabelSet)>>> = Arc::default();
 
-    // Edge: filter P-frames by metadata, decode I-frames.
-    let edge = LiveStage::compute("edge", move |item: LiveItem| {
-        if item.tag != 0 {
-            return None;
-        }
-        let frame = Decoder::decode_iframe(res, quality, &item.payload).expect("decode");
-        let small = frame.resize(Resolution::new(32, 32));
-        Some(LiveItem {
-            id: item.id,
-            payload: small.y().data().to_vec(),
-            tag: 0,
-        })
-    });
-    // A shaped WAN.
-    let wan = LiveStage::link("wan", 50.0e6);
-    // Cloud: oracle "NN" keyed by frame id (ground truth stands in for a
-    // correct detector, as in the paper's accuracy model).
-    let cloud = {
-        let labels = labels.clone();
-        let results = results.clone();
-        LiveStage::compute("cloud", move |item: LiveItem| {
-            let l = labels
-                .get(item.id as usize)
-                .copied()
-                .unwrap_or_default();
-            results.lock().unwrap().push((item.id, l));
-            Some(item)
-        })
-    };
+    let mut selector = IFrameSelector::new();
+    let oracle = OracleDetector::for_video(&video);
+    let live = run_live_analysis(
+        &encoded,
+        &mut selector,
+        oracle,
+        &LiveConfig {
+            wan_bps: 50.0e6,
+            capacity: 8,
+            ..LiveConfig::default()
+        },
+    )
+    .expect("live run");
 
-    let items: Vec<LiveItem> = encoded
-        .frames()
-        .iter()
-        .enumerate()
-        .map(|(i, ef)| LiveItem {
-            id: i as u64,
-            payload: ef.data.clone(),
-            tag: match ef.frame_type {
-                FrameType::I => 0,
-                FrameType::P => 1,
-            },
-        })
-        .collect();
-
-    let report = sieve_simnet::run_live(vec![edge, wan, cloud], items, 8);
-    assert_eq!(report.delivered as usize, expected_i);
-    assert_eq!(report.dropped as usize, encoded.frame_count() - expected_i);
+    assert_eq!(live.report.delivered as usize, expected_i);
+    assert_eq!(
+        live.report.dropped as usize,
+        encoded.frame_count() - expected_i
+    );
 
     // The tuples collected in the cloud reconstruct accurate per-frame
     // labels via propagation.
-    let mut collected = results.lock().unwrap().clone();
-    collected.sort_by_key(|(id, _)| *id);
-    let pairs: Vec<(usize, LabelSet)> = collected
-        .into_iter()
-        .map(|(id, l)| (id as usize, l))
-        .collect();
-    let predicted = sieve_core::propagate_labels(encoded.frame_count(), &pairs);
-    let acc = sieve_core::label_accuracy(video.labels(), &predicted);
+    let acc = sieve_core::label_accuracy(video.labels(), &live.result.predicted);
     assert!(acc > 0.9, "live pipeline accuracy too low: {acc}");
+}
+
+/// The same driver carries a full-decode baseline: an MSE edge selects at a
+/// matched budget and the tuples still reconstruct labels.
+#[test]
+fn live_pipeline_generic_over_selectors() {
+    let video = DatasetSpec::of(DatasetId::JacksonSquare).generate(DatasetScale::Tiny);
+    let encoded = EncodedVideo::encode(
+        video.resolution(),
+        video.fps(),
+        EncoderConfig::new(300, 150),
+        video.frames().take(240),
+    );
+    let fraction = (encoded.i_frame_indices().len().max(1) as f64 / encoded.frame_count() as f64)
+        .clamp(0.01, 1.0);
+    let mut selector = MseSelector::mse(Budget::Fraction(fraction));
+    let oracle = OracleDetector::for_video(&video);
+    let live = run_live_analysis(&encoded, &mut selector, oracle, &LiveConfig::default())
+        .expect("live run");
+    assert!(live.report.delivered > 0, "mse must select something");
+    assert_eq!(
+        live.result.predicted.len(),
+        encoded.frame_count(),
+        "propagation covers every frame"
+    );
+    // Selected tuples carry ground truth at their own frames.
+    for &(i, labels) in &live.result.selected {
+        assert_eq!(labels, video.labels()[i]);
+    }
 }
 
 #[test]
 fn live_pipeline_backpressure_does_not_deadlock() {
     // Tiny channel capacity with a slow middle stage: must still drain.
-    let items: Vec<LiveItem> = (0..100)
-        .map(|id| LiveItem {
+    let items: Vec<sieve_simnet::LiveItem> = (0..100)
+        .map(|id| sieve_simnet::LiveItem {
             id,
             payload: vec![0u8; 64],
             tag: 0,
         })
         .collect();
-    let slow = LiveStage::compute("slow", |it: LiveItem| {
+    let slow = sieve_simnet::LiveStage::compute("slow", |it: sieve_simnet::LiveItem| {
         std::thread::sleep(std::time::Duration::from_micros(200));
         Some(it)
     });
-    let fast = LiveStage::compute("fast", Some);
+    let fast = sieve_simnet::LiveStage::compute("fast", Some);
     let report = sieve_simnet::run_live(vec![fast, slow], items, 1);
     assert_eq!(report.delivered, 100);
 }

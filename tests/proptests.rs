@@ -177,8 +177,8 @@ proptest! {
         for e in &events {
             prop_assert_eq!(e.start, cursor);
             prop_assert!(e.len > 0);
-            for i in e.start..e.end() {
-                prop_assert_eq!(labels[i], e.labels);
+            for &l in &labels[e.start..e.end()] {
+                prop_assert_eq!(l, e.labels);
             }
             cursor = e.end();
         }
