@@ -10,12 +10,10 @@ use std::time::Instant;
 
 use sieve_core::{
     score_selection, simulate_all, tune, BaselineOutcome, ConfigGrid, DetectionQuality,
-    IFrameSeeker, VideoWorkload, WorkloadCosts,
+    FrameSelector, IFrameSeeker, VideoWorkload, WorkloadCosts,
 };
 use sieve_datasets::{DatasetId, DatasetScale, DatasetSpec, LabelSet, SyntheticVideo};
-use sieve_filters::{
-    calibrate_threshold, score_sequence, select_frames, ChangeDetector, MseDetector, SiftDetector,
-};
+use sieve_filters::{Budget, ChangeDetector, MseDetector, MseSelector, SiftDetector, SiftSelector};
 use sieve_nn::{frame_to_tensor, reference_model};
 use sieve_simnet::ThreeTier;
 use sieve_video::{
@@ -116,45 +114,50 @@ pub struct SweepPoint {
 /// For each scenecut in `scenecuts`, the eval half is semantically encoded
 /// (GOP fixed at `gop`); the resulting I-frame rate defines the sampling
 /// budget at which the baselines' thresholds are calibrated — the paper's
-/// fair-comparison methodology.
+/// fair-comparison methodology. The whole sweep routes through
+/// [`FrameSelector::calibrate_fractions`], so each baseline decodes and
+/// scores the default-encoded stream (decode artifacts included, exactly
+/// like NoScope-style filters) *once* across all operating points.
 pub fn accuracy_sweep(prepared: &Prepared, gop: usize, scenecuts: &[u16]) -> Vec<SweepPoint> {
     let labels = prepared.eval_labels();
-    // The baselines operate on the decoded default-encoded stream (decode
-    // artifacts included), exactly like NoScope-style filters.
     let default_video = prepared.encode_eval(EncoderConfig::x264_default());
-    let frames = default_video.decode_all().expect("default stream decodes");
-    let mse_scores = score_sequence(&mut MseDetector::new(), &frames);
-    let sift_scores = score_sequence(&mut SiftDetector::new(), &frames);
 
-    let mut points = Vec::new();
-    for &sc in scenecuts {
-        let encoded = prepared.encode_eval(EncoderConfig::new(gop, sc));
-        let selected = IFrameSeeker::new(&encoded).i_frame_indices();
-        let sieve_q = score_selection(labels, &selected);
-        let sampling = sieve_q.sampling_rate;
-        let mse_q = baseline_quality(labels, &mse_scores, frames.len(), sampling);
-        let sift_q = baseline_quality(labels, &sift_scores, frames.len(), sampling);
-        points.push(SweepPoint {
-            sampling,
+    // SiEVE's operating points: one semantic encode per scenecut; the
+    // I-frame rates become the baselines' matched sampling targets.
+    let sieve_points: Vec<_> = scenecuts
+        .iter()
+        .map(|&sc| {
+            let encoded = prepared.encode_eval(EncoderConfig::new(gop, sc));
+            let selected = IFrameSeeker::new(&encoded).i_frame_indices();
+            score_selection(labels, &selected)
+        })
+        .collect();
+    let fractions: Vec<f64> = sieve_points
+        .iter()
+        .map(|q| q.sampling_rate.clamp(1e-6, 1.0))
+        .collect();
+
+    // Batched calibration: one decode+scoring pass per baseline, every
+    // matched target swept in memory.
+    let mse_curve = MseSelector::mse(Budget::Threshold(0.0))
+        .calibrate_fractions(&default_video, &fractions)
+        .expect("default stream decodes");
+    let sift_curve = SiftSelector::sift(Budget::Threshold(0.0))
+        .calibrate_fractions(&default_video, &fractions)
+        .expect("default stream decodes");
+
+    let mut points: Vec<SweepPoint> = sieve_points
+        .iter()
+        .zip(mse_curve.points.iter().zip(&sift_curve.points))
+        .map(|(sieve_q, (mse_pt, sift_pt))| SweepPoint {
+            sampling: sieve_q.sampling_rate,
             sieve: sieve_q.accuracy,
-            sift: sift_q.accuracy,
-            mse: mse_q.accuracy,
-        });
-    }
+            sift: score_selection(labels, &sift_pt.selected).accuracy,
+            mse: score_selection(labels, &mse_pt.selected).accuracy,
+        })
+        .collect();
     points.sort_by(|a, b| a.sampling.partial_cmp(&b.sampling).expect("finite"));
     points
-}
-
-/// Scores a threshold baseline calibrated to `target` sampling.
-fn baseline_quality(
-    labels: &[LabelSet],
-    scores: &[f64],
-    total_frames: usize,
-    target: f64,
-) -> DetectionQuality {
-    let t = calibrate_threshold(scores, total_frames, target.clamp(1e-6, 1.0));
-    let selected = select_frames(scores, t);
-    score_selection(labels, &selected)
 }
 
 // ---------------------------------------------------------------------------
@@ -324,13 +327,16 @@ pub fn build_workload(
     // MSE selection count: the paper sets the MSE threshold to reach the
     // same quality target as the tuned semantic parameters (95% F1 on
     // training) and then deploys that threshold. We mirror the methodology
-    // exactly: calibrate the smallest training-prefix budget that reaches
-    // the target accuracy there, then count how many eval frames the
-    // resulting *absolute* threshold selects. Because raw pixel-difference
-    // thresholds are noise-distribution-sensitive, they transfer poorly
-    // from train to eval — MSE selects considerably more frames than SiEVE
-    // for the same target, the asymmetry behind Fig 5. Unlabelled feeds use
-    // the paper's 1-per-5-seconds rate.
+    // exactly through the unified layer: one batched calibration pass over
+    // the training prefix sweeps every candidate budget
+    // (`calibrate_fractions`), the smallest one reaching the target
+    // accuracy fixes the *absolute* threshold, and a threshold-budget
+    // selector streams the eval half once to count what it would ship.
+    // Because raw pixel-difference thresholds are
+    // noise-distribution-sensitive, they transfer poorly from train to
+    // eval — MSE selects considerably more frames than SiEVE for the same
+    // target, the asymmetry behind Fig 5. Unlabelled feeds use the paper's
+    // 1-per-5-seconds rate.
     let mse_selected = if prepared.spec.has_labels {
         let half = prepared.split();
         let train_default = EncodedVideo::encode(
@@ -339,23 +345,22 @@ pub fn build_workload(
             EncoderConfig::x264_default(),
             (0..half).map(|i| video.frame(i)),
         );
-        let train_frames = train_default.decode_all().expect("train stream decodes");
-        let train_scores = score_sequence(&mut MseDetector::new(), &train_frames);
         let train_labels = &video.labels()[..half];
-        let eval_frames = default_video.decode_all().expect("eval stream decodes");
-        let eval_scores = score_sequence(&mut MseDetector::new(), &eval_frames);
         let goal = 0.95;
-        let mut threshold = None;
-        for target in [0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.2] {
-            let t = calibrate_threshold(&train_scores, train_frames.len(), target);
-            let q = sieve_core::score_selection(train_labels, &select_frames(&train_scores, t));
-            if q.accuracy >= goal {
-                threshold = Some(t);
-                break;
-            }
-        }
+        let targets = [0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.2];
+        let curve = MseSelector::mse(Budget::Threshold(0.0))
+            .calibrate_fractions(&train_default, &targets)
+            .expect("train stream decodes");
+        let threshold = curve
+            .points
+            .iter()
+            .find(|p| sieve_core::score_selection(train_labels, &p.selected).accuracy >= goal)
+            .map(|p| p.threshold);
         match threshold {
-            Some(t) => select_frames(&eval_scores, t).len(),
+            Some(t) => MseSelector::mse(Budget::Threshold(t))
+                .select_indices(&default_video)
+                .expect("eval stream decodes")
+                .len(),
             None => (n / 5).max(1),
         }
     } else {

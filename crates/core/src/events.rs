@@ -251,20 +251,35 @@ mod tests {
 
     #[test]
     fn analyze_rejects_misbehaving_selector() {
-        struct Backwards;
-        impl FrameSelector for Backwards {
-            fn name(&self) -> &'static str {
-                "backwards"
+        use crate::select::{Decision, EncodedFrameMeta, SelectorSession};
+
+        // A session that keeps demanding pixels even after the driver
+        // supplied them violates the observe contract; the driver must
+        // surface an error rather than loop or panic.
+        struct Greedy;
+        struct GreedySession;
+        impl SelectorSession for GreedySession {
+            fn observe(
+                &mut self,
+                _index: usize,
+                _meta: &EncodedFrameMeta,
+                _frame: Option<&Frame>,
+            ) -> Decision {
+                Decision::NeedsDecode
             }
-            fn select(&mut self, video: &EncodedVideo) -> Result<Vec<(usize, Frame)>, SieveError> {
-                let f = video.decode_iframe_at(0)?;
-                Ok(vec![(1, f.clone()), (0, f)])
+        }
+        impl FrameSelector for Greedy {
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+            fn session(&self) -> Box<dyn SelectorSession> {
+                Box::new(GreedySession)
             }
         }
         let (video, encoded) = setup();
         let mut oracle = OracleDetector::for_video(&video);
         assert!(matches!(
-            analyze(&encoded, &mut Backwards, &mut oracle),
+            analyze(&encoded, &mut Greedy, &mut oracle),
             Err(SieveError::Selector(_))
         ));
     }

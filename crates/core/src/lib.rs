@@ -8,6 +8,9 @@
 //!   (the paper's Fig 2 procedure);
 //! * [`lookup`] — the per-camera tuned-parameter table;
 //! * [`seeker`] — the I-frame seeker (metadata scan, independent decode);
+//! * [`select`] — the streaming selection layer: [`FrameSelector`]
+//!   factories, incremental [`SelectorSession`]s, trait-owned
+//!   [`SelectorCost`] models and batched calibration;
 //! * [`metrics`] — accuracy / filtering rate / F1 with label propagation;
 //! * [`events`] — the analysis path producing `(frame, labels)` tuples;
 //! * [`pipeline`] — end-to-end simulation of the five Fig 4/5 baselines on
@@ -57,6 +60,9 @@ pub use pipeline::{
 };
 pub use reencode::{reencode_semantic, ReencodeStats};
 pub use seeker::{ByteStreamSeeker, IFrameSeeker};
-pub use select::{FixedSelector, FrameSelector, IFrameSelector};
+pub use select::{
+    CalibrationCurve, CalibrationPoint, Decision, EncodedFrameMeta, FixedSelector, FrameSelector,
+    IFrameSelector, SelectorCost, SelectorSession,
+};
 pub use store::{EventSeeker, ResultStore, ResultTuple};
 pub use tuner::{score_encoding, tune, ConfigGrid, ConfigScore, TuningOutcome};

@@ -3,32 +3,39 @@
 //! Where [`crate::pipeline`] *simulates* a deployment from calibrated
 //! costs, this module actually runs one on OS threads via
 //! `sieve-simnet`'s back-pressured [`run_live`] runtime: the camera stage
-//! feeds encoded frames, the edge stage applies any [`FrameSelector`]'s
-//! policy (dropping unselected frames, decoding survivors, resizing them to
-//! the NN input), a bandwidth-throttled WAN stage carries the survivors,
-//! and the cloud stage runs any [`ObjectDetector`] and stores `(frame id,
-//! labels)` tuples. One driver serves every baseline — swapping the
-//! selector is the only difference between a SiEVE deployment and an
-//! MSE/uniform one.
+//! feeds encoded frames, the edge stage drives any [`FrameSelector`]'s
+//! streaming [`SelectorSession`](crate::select::SelectorSession) *in
+//! place* — observing each frame's metadata as it arrives, decoding only
+//! when the policy asks, keeping or dropping on the spot — a
+//! bandwidth-throttled WAN stage carries the survivors, and the cloud stage
+//! runs any [`ObjectDetector`] and stores `(frame id, labels)` tuples.
+//!
+//! No whole-video pre-pass: the edge never materialises the full index
+//! vector or a full decode buffer. Lookahead is bounded by the session's
+//! own state (at most one previous decoded frame for the pixel-differencing
+//! policies, none for metadata policies) plus the back-pressured channel
+//! capacity. Decode failures at the edge surface as typed
+//! [`LiveReport::failed`] counts, distinct from policy drops.
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sieve_nn::ObjectDetector;
-use sieve_simnet::{run_live, LiveItem, LiveReport, LiveStage};
+use sieve_simnet::{run_live, LiveItem, LiveReport, LiveStage, StageResult};
 use sieve_video::{Decoder, EncodedVideo, FrameType, Resolution};
 
 use crate::error::SieveError;
 use crate::events::AnalysisResult;
 use crate::metrics::propagate_labels;
-use crate::select::FrameSelector;
+use crate::select::{Decision, EncodedFrameMeta, FrameSelector};
 
 /// Configuration of the live 3-tier run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LiveConfig {
     /// Edge→cloud WAN bandwidth in bits per second.
     pub wan_bps: f64,
-    /// Bounded channel capacity between stages (back-pressure depth).
+    /// Bounded channel capacity between stages (back-pressure depth; also
+    /// the only frame lookahead the pipeline ever holds).
     pub capacity: usize,
     /// Square side of the frames shipped to the NN.
     pub nn_input: u32,
@@ -55,17 +62,21 @@ pub struct LiveAnalysis {
 }
 
 /// Runs `video` through a live camera→edge→WAN→cloud pipeline with
-/// `selector` deciding what survives the edge and `detector` labelling
-/// survivors in the cloud.
+/// `selector` deciding *inside the edge stage* what survives and
+/// `detector` labelling survivors in the cloud.
 ///
-/// The selection policy is evaluated up front (the edge needs to know which
-/// frame ids to keep); the frame payloads then stream through the threaded
-/// stages with real decoding, resizing, transfer throttling and inference.
+/// The selector is [`prepare`](FrameSelector::prepare)d once (resolving any
+/// whole-video parameters, e.g. fraction-calibrated thresholds — the
+/// paper's offline tuning step), then a streaming session moves into the
+/// edge thread and makes per-frame keep/drop decisions as items arrive.
+/// Frame payloads stream through the threaded stages with real decoding,
+/// resizing, transfer throttling and inference.
 ///
 /// # Errors
 ///
-/// Propagates selection failures; decode failures inside the edge stage
-/// surface as dropped frames in the report.
+/// Propagates preparation failures (invalid budgets, calibration decode
+/// errors); per-frame decode failures inside the edge stage surface as
+/// typed [`LiveReport::failed`] counts.
 pub fn run_live_analysis<S, D>(
     video: &EncodedVideo,
     selector: &mut S,
@@ -76,57 +87,72 @@ where
     S: FrameSelector + ?Sized,
     D: ObjectDetector + Send + 'static,
 {
-    let selected = selector.select_indices(video)?;
-    let mut keep = vec![false; video.frame_count()];
-    for &i in &selected {
-        if i >= keep.len() {
-            return Err(SieveError::InvalidSelection {
-                index: i,
-                frame_count: keep.len(),
-            });
-        }
-        keep[i] = true;
-    }
+    selector.prepare(video)?;
+    let mut session = selector.session();
+    let full_decode = selector.requires_full_decode();
     let res = video.resolution();
     let quality = video.quality();
     let nn_res = Resolution::new(config.nn_input, config.nn_input);
-    let full_decode = selector.requires_full_decode();
 
-    // Edge: apply the selection policy. Metadata-driven policies decode
+    // Edge: drive the streaming session. Metadata-driven policies decode
     // only survivors (independent I-frame decode); pixel policies must run
     // the stateful full decoder over every frame to reach the survivors.
     let edge = {
         let mut stream_decoder = Decoder::new(res, quality);
         LiveStage::compute("edge: select+decode+resize", move |item: LiveItem| {
             let idx = item.id as usize;
-            let is_i = item.tag == 0;
-            let frame = if full_decode {
+            let meta = EncodedFrameMeta {
+                frame_type: if item.tag == 0 {
+                    FrameType::I
+                } else {
+                    FrameType::P
+                },
+                payload_len: item.payload.len(),
+            };
+            if session.done() {
+                return StageResult::Drop;
+            }
+            let (decision, frame) = if full_decode {
+                // Decode unconditionally: P-frames chain, so the decoder
+                // state must advance even through dropped frames.
                 let ef = sieve_video::EncodedFrame {
-                    frame_type: if is_i { FrameType::I } else { FrameType::P },
+                    frame_type: meta.frame_type,
                     data: item.payload,
                 };
-                match stream_decoder.decode_frame(&ef) {
+                let frame = match stream_decoder.decode_frame(&ef) {
                     Ok(f) => f,
-                    Err(_) => return None,
-                }
+                    Err(_) => return StageResult::Fail,
+                };
+                let decision = match session.observe(idx, &meta, None) {
+                    Decision::NeedsDecode => session.observe(idx, &meta, Some(&frame)),
+                    d => d,
+                };
+                (decision, frame)
             } else {
-                if !is_i {
-                    return None; // dropped by metadata alone
+                // Metadata path: decide first, decode survivors only.
+                let first = session.observe(idx, &meta, None);
+                if first == Decision::Drop {
+                    return StageResult::Drop;
                 }
-                match Decoder::decode_iframe(res, quality, &item.payload) {
+                let frame = match Decoder::decode_iframe(res, quality, &item.payload) {
                     Ok(f) => f,
-                    Err(_) => return None,
-                }
+                    Err(_) => return StageResult::Fail,
+                };
+                let decision = match first {
+                    Decision::NeedsDecode => session.observe(idx, &meta, Some(&frame)),
+                    d => d,
+                };
+                (decision, frame)
             };
-            if !keep.get(idx).copied().unwrap_or(false) {
-                return None;
+            if decision != Decision::Keep {
+                return StageResult::Drop;
             }
             let small = frame.resize(nn_res);
             let mut bytes = Vec::with_capacity(small.raw_bytes());
             bytes.extend_from_slice(small.y().data());
             bytes.extend_from_slice(small.u().data());
             bytes.extend_from_slice(small.v().data());
-            Some(LiveItem {
+            StageResult::Emit(LiveItem {
                 id: item.id,
                 payload: bytes,
                 tag: item.tag,
@@ -148,7 +174,7 @@ where
             let small_res = Resolution::new(side, side);
             let (ylen, clen) = (small_res.luma_len(), small_res.chroma_len());
             if item.payload.len() < ylen + 2 * clen {
-                return None;
+                return StageResult::Fail;
             }
             let y = sieve_video::Plane::from_data(
                 side as usize,
@@ -168,7 +194,7 @@ where
             let frame = sieve_video::Frame::from_planes(small_res, y, u, v);
             let labels = detector.lock().detect(item.id as usize, &frame);
             results.lock().push((item.id, labels));
-            Some(item)
+            StageResult::Emit(item)
         })
     };
 
@@ -240,6 +266,7 @@ mod tests {
             live.report.dropped as usize,
             encoded.frame_count() - offline.selected.len()
         );
+        assert_eq!(live.report.failed, 0);
     }
 
     #[test]

@@ -15,10 +15,12 @@
 use serde::{Deserialize, Serialize};
 use sieve_simnet::{Pipeline, StageSpec, StepWork, ThreeTier};
 
-/// The selection policy side of a baseline: which frames get analysed and
-/// what the *per-frame* selection work costs. Mirrors the
-/// [`crate::FrameSelector`] implementations (`sieve-filters` provides the
-/// uniform/MSE adapters).
+use crate::select::{FrameSelector, IFrameSelector, SelectorCost};
+
+/// The selection policy side of a baseline: which frames get analysed.
+/// Mirrors the [`crate::FrameSelector`] implementations (`sieve-filters`
+/// provides the uniform/MSE adapters); per-frame costs come from the
+/// selector's own [`SelectorCost`] via [`SelectorKind::cost_model`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SelectorKind {
     /// I-frame seeking over the semantically encoded stream (metadata scan;
@@ -48,16 +50,17 @@ impl SelectorKind {
         }
     }
 
-    /// Per-frame selection cost in reference-machine seconds: the work the
-    /// selecting tier spends on one stream frame, before any NN inference.
-    pub fn selection_secs(&self, c: &WorkloadCosts, analysed: bool) -> f64 {
-        let resize = if analysed { c.resize_to_nn } else { 0.0 };
+    /// The per-frame cost model of this policy's [`FrameSelector`]
+    /// implementation — the one cost source the simulator and the live path
+    /// share. The I-frame row delegates to the real core selector; the
+    /// uniform/MSE rows name the same canonical [`SelectorCost`] shapes the
+    /// `sieve-filters` adapters return (cross-checked by a test there,
+    /// since this crate cannot depend on its own dependents).
+    pub fn cost_model(&self) -> SelectorCost {
         match self {
-            SelectorKind::IFrame => {
-                c.seek_per_frame + if analysed { c.iframe_decode } else { 0.0 } + resize
-            }
-            SelectorKind::Uniform => c.full_decode_per_frame + resize,
-            SelectorKind::Mse => c.full_decode_per_frame + c.mse_per_pair + resize,
+            SelectorKind::IFrame => IFrameSelector::new().cost_model(),
+            SelectorKind::Uniform => SelectorCost::full_stream_decode(),
+            SelectorKind::Mse => SelectorCost::full_stream_decode().with_pairwise_compare(),
         }
     }
 }
@@ -269,13 +272,15 @@ pub fn simulate_all(videos: &[VideoWorkload], topology: &ThreeTier) -> Vec<Basel
 
 /// Submits every frame of one video as the 4-stage work its baseline spec
 /// implies. Fully generic: the selector kind decides which stream is
-/// shipped, which frames are analysed and the per-frame selection cost; the
-/// deployment decides which tier pays it and what crosses each link.
+/// shipped and which frames are analysed, its [`SelectorCost`] model prices
+/// each stream frame, and the deployment decides which tier pays it and
+/// what crosses each link.
 fn submit_video(baseline: Baseline, v: &VideoWorkload, topo: &ThreeTier, pipeline: &mut Pipeline) {
     let BaselineSpec {
         selector,
         deployment,
     } = baseline.spec();
+    let cost = selector.cost_model();
     let n = v.frame_count.max(1);
     let c = &v.costs;
     let edge = &topo.edge;
@@ -293,7 +298,7 @@ fn submit_video(baseline: Baseline, v: &VideoWorkload, topo: &ThreeTier, pipelin
     let stride = (n / analysed.max(1)).max(1);
     for i in 0..n {
         let is_analysed = i % stride == 0 && i / stride < analysed;
-        let select_secs = selector.selection_secs(c, is_analysed);
+        let select_secs = cost.per_frame_secs(c, is_analysed);
         let nn_secs = if is_analysed { c.nn_inference } else { 0.0 };
         let analysed_transfer = |bytes: u64| {
             if is_analysed {

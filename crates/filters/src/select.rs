@@ -1,18 +1,36 @@
 //! [`FrameSelector`] adapters for the image-similarity baselines.
 //!
-//! These plug the NoScope-style filters into `sieve-core`'s unified
-//! analysis layer: each adapter fully decodes the stream (the cost the
-//! paper charges these baselines), applies its policy, and hands the
-//! selected frames to the generic driver. Adding a baseline to the whole
-//! system is: implement [`FrameSelector`] here, add a
-//! `sieve_core::pipeline::Baseline` registry row for its cost model.
+//! These plug the NoScope-style filters into `sieve-core`'s streaming
+//! selection layer. Each adapter is a session factory:
+//!
+//! * [`UniformSelector`] decides every frame from its index alone — its
+//!   session never touches pixels, though the cost model still charges the
+//!   full decode (P-frames chain, so *reaching* a sampled frame means
+//!   decoding up to it);
+//! * [`ChangeSelector`] (MSE, SIFT, any [`ChangeDetector`]) requests pixels
+//!   per frame ([`Decision::NeedsDecode`]), scores against the previous
+//!   frame — the only decoded state a session holds — and keeps frames
+//!   whose change exceeds the budgeted threshold.
+//!
+//! Fraction budgets ([`Budget::Fraction`]) need the whole video's score
+//! distribution; [`FrameSelector::prepare`] resolves them to an absolute
+//! threshold in one streaming scoring pass (the paper's offline
+//! calibration), after which sessions replay the resolved operating point
+//! on-line. The batched [`FrameSelector::calibrate`] /
+//! [`FrameSelector::calibrate_fractions`] overrides score once and sweep
+//! every requested operating point in memory — Fig 3's one-decode
+//! calibration. Adding a baseline to the whole system is: implement the
+//! session factory here and give it a [`SelectorCost`] shape.
 
-use sieve_core::{FrameSelector, SieveError};
-use sieve_video::{EncodedVideo, Frame};
+use std::sync::Arc;
 
-use crate::detector::{
-    calibrate_threshold, score_sequence, select_frames, ChangeDetector, UniformSampler,
+use sieve_core::{
+    CalibrationCurve, CalibrationPoint, Decision, EncodedFrameMeta, FrameSelector, SelectorCost,
+    SelectorSession, SieveError,
 };
+use sieve_video::{Decoder, EncodedVideo, Frame};
+
+use crate::detector::{calibrate_threshold, select_frames, ChangeDetector, UniformSampler};
 use crate::mse::MseDetector;
 use crate::sift::SiftDetector;
 
@@ -20,16 +38,16 @@ use crate::sift::SiftDetector;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Budget {
     /// Use a fixed absolute change-score threshold (e.g. tuned offline on a
-    /// training prefix, the paper's deployment setting).
+    /// training prefix, the paper's deployment setting). Streams fully
+    /// on-line.
     Threshold(f64),
     /// Calibrate the threshold on this video so that approximately this
     /// fraction of frames is selected (the paper's matched-sampling
-    /// comparison setting).
+    /// comparison setting). Resolved by [`FrameSelector::prepare`].
     Fraction(f64),
 }
 
-/// Uniform sampling as a frame selector: decode everything, keep every
-/// `interval`-th frame.
+/// Uniform sampling as a frame selector: keep every `interval`-th frame.
 #[derive(Debug, Clone, Copy)]
 pub struct UniformSelector {
     sampler: UniformSampler,
@@ -66,32 +84,57 @@ impl FrameSelector for UniformSelector {
         "uniform"
     }
 
-    fn select(&mut self, video: &EncodedVideo) -> Result<Vec<(usize, Frame)>, SieveError> {
-        let frames = video.decode_all()?;
-        Ok(self
-            .sampler
-            .select(frames.len())
-            .into_iter()
-            .map(|i| (i, frames[i].clone()))
-            .collect())
+    fn cost_model(&self) -> SelectorCost {
+        // The *indices* need no pixels, but reaching a sampled frame in a
+        // P-frame chain means full-decoding up to it.
+        SelectorCost::full_stream_decode()
     }
 
-    fn select_indices(&mut self, video: &EncodedVideo) -> Result<Vec<usize>, SieveError> {
-        // The *indices* of uniform sampling need no decoding, but the cost
-        // model still charges the full decode (P-frames chain); see
-        // `SelectorKind::Uniform`.
-        Ok(self.sampler.select(video.frame_count()))
+    fn session(&self) -> Box<dyn SelectorSession> {
+        Box::new(UniformSession {
+            interval: self.sampler.interval(),
+        })
+    }
+}
+
+/// The streaming side of [`UniformSelector`]: an index-only decision.
+struct UniformSession {
+    interval: usize,
+}
+
+impl SelectorSession for UniformSession {
+    fn observe(
+        &mut self,
+        index: usize,
+        _meta: &EncodedFrameMeta,
+        _frame: Option<&Frame>,
+    ) -> Decision {
+        if index.is_multiple_of(self.interval) {
+            Decision::Keep
+        } else {
+            Decision::Drop
+        }
     }
 }
 
 /// A change-detector baseline (MSE, SIFT, or any [`ChangeDetector`]) as a
-/// frame selector: decode everything, score consecutive pairs, select
-/// frames whose change exceeds the budgeted threshold.
+/// streaming frame selector: score each decoded frame against its
+/// predecessor, keep frames whose change exceeds the budgeted threshold.
 #[derive(Debug)]
 pub struct ChangeSelector<D: ChangeDetector> {
     detector: D,
     budget: Budget,
     name: &'static str,
+    resolved: Option<Resolved>,
+}
+
+/// The operating point [`FrameSelector::prepare`] resolved for one video:
+/// an absolute threshold, plus the scoring pass that produced it (replayed
+/// by sessions so the calibration decode is never repeated).
+#[derive(Debug, Clone)]
+struct Resolved {
+    threshold: f64,
+    scores: Option<Arc<Vec<f64>>>,
 }
 
 impl<D: ChangeDetector> ChangeSelector<D> {
@@ -101,6 +144,7 @@ impl<D: ChangeDetector> ChangeSelector<D> {
             detector,
             budget,
             name: "",
+            resolved: None,
         }
     }
 
@@ -113,9 +157,36 @@ impl<D: ChangeDetector> ChangeSelector<D> {
     pub fn budget(&self) -> Budget {
         self.budget
     }
+
+    /// One streaming scoring pass: decode each frame, score it against its
+    /// predecessor, hold only that predecessor. `scores[i]` describes the
+    /// pair `(i, i+1)`, matching [`crate::detector::score_sequence`].
+    fn scores(&mut self, video: &EncodedVideo) -> Result<Vec<f64>, SieveError> {
+        let mut decoder = Decoder::new(video.resolution(), video.quality());
+        self.detector.reset();
+        let mut prev: Option<Frame> = None;
+        let mut scores = Vec::with_capacity(video.frame_count().saturating_sub(1));
+        for ef in video.frames() {
+            let frame = decoder.decode_frame(ef)?;
+            if let Some(p) = &prev {
+                scores.push(self.detector.change_score(p, &frame));
+            }
+            prev = Some(frame);
+        }
+        Ok(scores)
+    }
+
+    fn validate_fraction(f: f64) -> Result<(), SieveError> {
+        if !(0.0..=1.0).contains(&f) || f == 0.0 {
+            return Err(SieveError::selector(format!(
+                "target fraction {f} outside (0, 1]"
+            )));
+        }
+        Ok(())
+    }
 }
 
-impl<D: ChangeDetector> FrameSelector for ChangeSelector<D> {
+impl<D: ChangeDetector + Clone + Send + 'static> FrameSelector for ChangeSelector<D> {
     fn name(&self) -> &'static str {
         if self.name.is_empty() {
             self.detector.name()
@@ -124,43 +195,188 @@ impl<D: ChangeDetector> FrameSelector for ChangeSelector<D> {
         }
     }
 
-    fn select(&mut self, video: &EncodedVideo) -> Result<Vec<(usize, Frame)>, SieveError> {
-        let frames = video.decode_all()?;
-        Ok(self
-            .score_and_select(&frames)?
-            .into_iter()
-            .map(|i| (i, frames[i].clone()))
-            .collect())
+    fn cost_model(&self) -> SelectorCost {
+        SelectorCost::full_stream_decode().with_pairwise_compare()
     }
 
-    fn select_indices(&mut self, video: &EncodedVideo) -> Result<Vec<usize>, SieveError> {
-        // Decode and score, but skip cloning the selected frames — callers
-        // that only need indices (the live driver's up-front policy pass)
-        // would otherwise pay a full-resolution clone per selection.
-        let frames = video.decode_all()?;
-        self.score_and_select(&frames)
+    fn prepare(&mut self, video: &EncodedVideo) -> Result<(), SieveError> {
+        self.resolved = match self.budget {
+            Budget::Threshold(t) => Some(Resolved {
+                threshold: t,
+                scores: None,
+            }),
+            Budget::Fraction(f) => {
+                Self::validate_fraction(f)?;
+                let scores = self.scores(video)?;
+                let threshold = calibrate_threshold(&scores, video.frame_count(), f);
+                Some(Resolved {
+                    threshold,
+                    scores: Some(Arc::new(scores)),
+                })
+            }
+        };
+        Ok(())
+    }
+
+    fn session(&self) -> Box<dyn SelectorSession> {
+        match &self.resolved {
+            // Calibrated on this video: replay the scoring pass, no decoded
+            // state at all.
+            Some(Resolved {
+                threshold,
+                scores: Some(scores),
+            }) => Box::new(ReplaySession {
+                threshold: *threshold,
+                scores: scores.clone(),
+            }),
+            // Absolute threshold: fully on-line, previous frame as the only
+            // state.
+            Some(Resolved {
+                threshold,
+                scores: None,
+            }) => Box::new(ChangeSession::new(self.detector.clone(), *threshold)),
+            None => match self.budget {
+                Budget::Threshold(t) => Box::new(ChangeSession::new(self.detector.clone(), t)),
+                // A fraction budget streamed without `prepare` has no
+                // operating point; the session surfaces that in `finish`.
+                Budget::Fraction(_) => Box::new(UnresolvedSession),
+            },
+        }
+    }
+
+    fn calibrate(
+        &mut self,
+        video: &EncodedVideo,
+        thresholds: &[f64],
+    ) -> Result<CalibrationCurve, SieveError> {
+        let scores = self.scores(video)?;
+        Ok(CalibrationCurve {
+            points: thresholds
+                .iter()
+                .map(|&t| CalibrationPoint {
+                    target: t,
+                    threshold: t,
+                    selected: select_frames(&scores, t),
+                })
+                .collect(),
+        })
+    }
+
+    fn calibrate_fractions(
+        &mut self,
+        video: &EncodedVideo,
+        fractions: &[f64],
+    ) -> Result<CalibrationCurve, SieveError> {
+        let scores = self.scores(video)?;
+        let n = video.frame_count();
+        let points = fractions
+            .iter()
+            .map(|&f| {
+                Self::validate_fraction(f)?;
+                let threshold = calibrate_threshold(&scores, n, f);
+                Ok(CalibrationPoint {
+                    target: f,
+                    threshold,
+                    selected: select_frames(&scores, threshold),
+                })
+            })
+            .collect::<Result<Vec<_>, SieveError>>()?;
+        Ok(CalibrationCurve { points })
     }
 }
 
-impl<D: ChangeDetector> ChangeSelector<D> {
-    /// Scores the decoded stream and applies the budgeted threshold.
-    fn score_and_select(&mut self, frames: &[Frame]) -> Result<Vec<usize>, SieveError> {
-        if frames.is_empty() {
-            return Ok(Vec::new());
+/// The on-line streaming side of [`ChangeSelector`]: request pixels, score
+/// against the previous frame (the only decoded frame a session ever
+/// holds), keep on change above the threshold. The first observed frame is
+/// always kept.
+struct ChangeSession<D: ChangeDetector> {
+    detector: D,
+    threshold: f64,
+    prev: Option<Frame>,
+}
+
+impl<D: ChangeDetector> ChangeSession<D> {
+    fn new(mut detector: D, threshold: f64) -> Self {
+        detector.reset();
+        Self {
+            detector,
+            threshold,
+            prev: None,
         }
-        let scores = score_sequence(&mut self.detector, frames);
-        let threshold = match self.budget {
-            Budget::Threshold(t) => t,
-            Budget::Fraction(f) => {
-                if !(0.0..=1.0).contains(&f) || f == 0.0 {
-                    return Err(SieveError::selector(format!(
-                        "target fraction {f} outside (0, 1]"
-                    )));
-                }
-                calibrate_threshold(&scores, frames.len(), f)
-            }
+    }
+}
+
+impl<D: ChangeDetector + Send> SelectorSession for ChangeSession<D> {
+    fn observe(
+        &mut self,
+        _index: usize,
+        _meta: &EncodedFrameMeta,
+        frame: Option<&Frame>,
+    ) -> Decision {
+        let Some(frame) = frame else {
+            return Decision::NeedsDecode;
         };
-        Ok(select_frames(&scores, threshold))
+        let keep = match self.prev.take() {
+            None => true,
+            Some(p) => self.detector.change_score(&p, frame) > self.threshold,
+        };
+        self.prev = Some(frame.clone());
+        if keep {
+            Decision::Keep
+        } else {
+            Decision::Drop
+        }
+    }
+}
+
+/// Replays a calibration scoring pass as per-frame decisions: no pixels,
+/// no decoded state. Used after [`FrameSelector::prepare`] resolved a
+/// fraction budget on the same video.
+struct ReplaySession {
+    threshold: f64,
+    scores: Arc<Vec<f64>>,
+}
+
+impl SelectorSession for ReplaySession {
+    fn observe(
+        &mut self,
+        index: usize,
+        _meta: &EncodedFrameMeta,
+        _frame: Option<&Frame>,
+    ) -> Decision {
+        let keep = match index.checked_sub(1) {
+            None => true, // frame 0 is always selected
+            // Frames past the calibrated stream (driver/preparation
+            // mismatch) are kept: shipping an extra frame is recoverable,
+            // silently losing an event is not.
+            Some(pair) => self.scores.get(pair).is_none_or(|&s| s > self.threshold),
+        };
+        if keep {
+            Decision::Keep
+        } else {
+            Decision::Drop
+        }
+    }
+}
+
+/// The session behind an unprepared fraction budget: selects nothing and
+/// reports the missing calibration at end of stream.
+struct UnresolvedSession;
+
+impl SelectorSession for UnresolvedSession {
+    fn observe(
+        &mut self,
+        _index: usize,
+        _meta: &EncodedFrameMeta,
+        _frame: Option<&Frame>,
+    ) -> Decision {
+        Decision::Drop
+    }
+
+    fn finish(&mut self) -> Result<(), SieveError> {
+        Err(SieveError::selector(
+            "fraction budget requires FrameSelector::prepare before streaming",
+        ))
     }
 }
 
@@ -203,6 +419,7 @@ pub fn selector_for(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::score_sequence;
     use sieve_core::analyze;
     use sieve_nn::OracleDetector;
     use sieve_video::{EncoderConfig, Resolution};
@@ -263,6 +480,13 @@ mod tests {
     }
 
     #[test]
+    fn unprepared_fraction_session_errors_in_finish() {
+        let sel = MseSelector::mse(Budget::Fraction(0.1));
+        let mut session = sel.session();
+        assert!(matches!(session.finish(), Err(SieveError::Selector(_))));
+    }
+
+    #[test]
     fn threshold_budget_is_deployable() {
         let v = sample_video(20);
         // Calibrate on this video, then redeploy the absolute threshold.
@@ -272,6 +496,79 @@ mod tests {
         let mut sel = MseSelector::mse(Budget::Threshold(t));
         let indices = sel.select_indices(&v).unwrap();
         assert_eq!(indices, select_frames(&scores, t));
+    }
+
+    #[test]
+    fn streaming_session_matches_batch_selection() {
+        let v = sample_video(24);
+        for budget in [Budget::Threshold(30.0), Budget::Fraction(0.25)] {
+            let mut sel = MseSelector::mse(budget);
+            let batch = sel.select_indices(&v).unwrap();
+            // Drive a session by hand with a stateful decoder, as a live
+            // edge would.
+            sel.prepare(&v).unwrap();
+            let mut session = sel.session();
+            let mut decoder = Decoder::new(v.resolution(), v.quality());
+            let mut kept = Vec::new();
+            for (i, ef) in v.frames().iter().enumerate() {
+                let meta = EncodedFrameMeta::of(ef);
+                let frame = decoder.decode_frame(ef).unwrap();
+                let decision = match session.observe(i, &meta, None) {
+                    Decision::NeedsDecode => session.observe(i, &meta, Some(&frame)),
+                    d => d,
+                };
+                if decision == Decision::Keep {
+                    kept.push(i);
+                }
+            }
+            session.finish().unwrap();
+            assert_eq!(kept, batch, "session/batch divergence under {budget:?}");
+        }
+    }
+
+    #[test]
+    fn calibrate_sweeps_many_thresholds_in_one_pass() {
+        let v = sample_video(20);
+        let frames = v.decode_all().unwrap();
+        let scores = score_sequence(&mut MseDetector::new(), &frames);
+        let thresholds = [0.0, 10.0, 1e9];
+        let curve = MseSelector::mse(Budget::Threshold(0.0))
+            .calibrate(&v, &thresholds)
+            .unwrap();
+        assert_eq!(curve.points.len(), 3);
+        for (p, &t) in curve.points.iter().zip(&thresholds) {
+            assert_eq!(p.selected, select_frames(&scores, t));
+        }
+        // Everything passes a zero threshold... and a huge one keeps only
+        // frame 0.
+        assert_eq!(curve.points[2].selected, vec![0]);
+    }
+
+    #[test]
+    fn calibrate_fractions_matches_fraction_budget() {
+        let v = sample_video(20);
+        let curve = MseSelector::mse(Budget::Threshold(0.0))
+            .calibrate_fractions(&v, &[0.1, 0.5])
+            .unwrap();
+        for p in &curve.points {
+            let mut sel = MseSelector::mse(Budget::Fraction(p.target));
+            assert_eq!(sel.select_indices(&v).unwrap(), p.selected);
+        }
+    }
+
+    #[test]
+    fn cost_models_match_simulator_registry() {
+        // The simulator's SelectorKind rows must name exactly the cost
+        // models the real FrameSelector implementations own — the "one
+        // cost source" invariant the core crate cannot test itself.
+        for kind in [
+            sieve_core::SelectorKind::IFrame,
+            sieve_core::SelectorKind::Uniform,
+            sieve_core::SelectorKind::Mse,
+        ] {
+            let sel = selector_for(kind, Budget::Fraction(0.1), 5);
+            assert_eq!(sel.cost_model(), kind.cost_model(), "{kind:?}");
+        }
     }
 
     #[test]

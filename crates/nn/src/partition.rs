@@ -4,7 +4,7 @@
 //! splits the network: the edge runs a prefix, ships the intermediate
 //! activation over the WAN, and the cloud runs the suffix. The best split
 //! minimizes `edge_compute + transfer + cloud_compute` per frame, exactly the
-//! latency model of Kang et al.'s Neurosurgeon (reference [8] in the paper).
+//! latency model of Kang et al.'s Neurosurgeon (reference \[8\] in the paper).
 
 use serde::{Deserialize, Serialize};
 

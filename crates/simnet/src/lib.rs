@@ -23,7 +23,7 @@ pub mod topology;
 
 pub use calibrate::{measure_secs, CostProfile};
 pub use des::Simulator;
-pub use live::{run_live, LiveItem, LiveReport, LiveStage};
+pub use live::{run_live, LiveItem, LiveReport, LiveStage, StageResult};
 pub use pipeline::{ItemResult, Pipeline, PipelineReport, StageSpec, StepWork};
 pub use time::SimTime;
 pub use topology::{Link, Node, ThreeTier};

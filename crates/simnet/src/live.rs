@@ -6,6 +6,12 @@
 //! back-pressured queues), and an optional bandwidth throttle per stage to
 //! emulate a shaped link. Used by the examples and integration tests to
 //! demonstrate a real end-to-end flow.
+//!
+//! Stage handlers return a [`StageResult`], distinguishing *policy* drops
+//! (filtering — counted in [`LiveReport::dropped`]) from *processing
+//! failures* (decode errors, malformed payloads — counted in
+//! [`LiveReport::failed`]), so a deployment report can tell "the edge
+//! filtered 97% of frames" apart from "the edge choked on 3 frames".
 
 use std::thread;
 use std::time::{Duration, Instant};
@@ -25,13 +31,26 @@ pub struct LiveItem {
     pub tag: u64,
 }
 
+/// Outcome of one stage handler invocation.
+#[derive(Debug)]
+pub enum StageResult {
+    /// Pass the item downstream.
+    Emit(LiveItem),
+    /// Drop the item by policy (filtering); counted in
+    /// [`LiveReport::dropped`].
+    Drop,
+    /// The stage failed to process the item (decode error, malformed
+    /// payload); counted in [`LiveReport::failed`].
+    Fail,
+}
+
 /// A stage: a handler plus an optional bandwidth throttle applied to the
 /// *output* payload.
 pub struct LiveStage {
     /// Stage name for the report.
     pub name: String,
-    /// Transformation; returning `None` drops the item (filtering).
-    pub handler: Box<dyn FnMut(LiveItem) -> Option<LiveItem> + Send>,
+    /// Transformation; see [`StageResult`] for drop/failure semantics.
+    pub handler: Box<dyn FnMut(LiveItem) -> StageResult + Send>,
     /// If set, emitting an item of `n` bytes takes at least `n*8/bps`
     /// seconds, emulating a link of that bandwidth.
     pub throttle_bps: Option<f64>,
@@ -50,7 +69,7 @@ impl LiveStage {
     /// A plain compute stage.
     pub fn compute(
         name: impl Into<String>,
-        handler: impl FnMut(LiveItem) -> Option<LiveItem> + Send + 'static,
+        handler: impl FnMut(LiveItem) -> StageResult + Send + 'static,
     ) -> Self {
         Self {
             name: name.into(),
@@ -63,7 +82,7 @@ impl LiveStage {
     pub fn link(name: impl Into<String>, bandwidth_bps: f64) -> Self {
         Self {
             name: name.into(),
-            handler: Box::new(Some),
+            handler: Box::new(StageResult::Emit),
             throttle_bps: Some(bandwidth_bps),
         }
     }
@@ -74,8 +93,10 @@ impl LiveStage {
 pub struct LiveReport {
     /// Items that reached the sink.
     pub delivered: u64,
-    /// Items dropped by stage handlers.
+    /// Items dropped by stage handlers as a policy decision (filtering).
     pub dropped: u64,
+    /// Items a stage failed to process (decode errors, malformed payloads).
+    pub failed: u64,
     /// Wall-clock duration of the run.
     pub wall: Duration,
     /// Per-stage output counts.
@@ -109,6 +130,7 @@ pub fn run_live(stages: Vec<LiveStage>, items: Vec<LiveItem>, capacity: usize) -
     let n = stages.len();
     let counters: Vec<Arc<Mutex<u64>>> = (0..n).map(|_| Arc::new(Mutex::new(0))).collect();
     let dropped = Arc::new(Mutex::new(0u64));
+    let failed = Arc::new(Mutex::new(0u64));
 
     let (first_tx, mut prev_rx) = bounded::<LiveItem>(capacity);
     let mut handles = Vec::new();
@@ -116,8 +138,9 @@ pub fn run_live(stages: Vec<LiveStage>, items: Vec<LiveItem>, capacity: usize) -
         let (tx, rx) = bounded::<LiveItem>(capacity);
         let counter = counters[i].clone();
         let drop_counter = dropped.clone();
+        let fail_counter = failed.clone();
         handles.push(thread::spawn(move || {
-            stage_loop(stage, prev_rx, tx, counter, drop_counter);
+            stage_loop(stage, prev_rx, tx, counter, drop_counter, fail_counter);
         }));
         prev_rx = rx;
     }
@@ -142,10 +165,12 @@ pub fn run_live(stages: Vec<LiveStage>, items: Vec<LiveItem>, capacity: usize) -
         h.join().expect("stage panicked");
     }
     let dropped_count = *dropped.lock();
+    let failed_count = *failed.lock();
     let stage_outputs = counters.iter().map(|c| *c.lock()).collect();
     LiveReport {
         delivered,
         dropped: dropped_count,
+        failed: failed_count,
         wall,
         stage_outputs,
         delivered_bytes,
@@ -158,10 +183,11 @@ fn stage_loop(
     tx: Sender<LiveItem>,
     counter: Arc<Mutex<u64>>,
     dropped: Arc<Mutex<u64>>,
+    failed: Arc<Mutex<u64>>,
 ) {
     for item in rx.iter() {
         match (stage.handler)(item) {
-            Some(out) => {
+            StageResult::Emit(out) => {
                 if let Some(bps) = stage.throttle_bps {
                     let secs = out.payload.len() as f64 * 8.0 / bps;
                     thread::sleep(Duration::from_secs_f64(secs));
@@ -171,8 +197,11 @@ fn stage_loop(
                     return; // downstream hung up
                 }
             }
-            None => {
+            StageResult::Drop => {
                 *dropped.lock() += 1;
+            }
+            StageResult::Fail => {
+                *failed.lock() += 1;
             }
         }
     }
@@ -194,10 +223,11 @@ mod tests {
 
     #[test]
     fn all_items_flow_through_identity_stage() {
-        let stages = vec![LiveStage::compute("id", Some)];
+        let stages = vec![LiveStage::compute("id", StageResult::Emit)];
         let report = run_live(stages, items(50, 10), 8);
         assert_eq!(report.delivered, 50);
         assert_eq!(report.dropped, 0);
+        assert_eq!(report.failed, 0);
         assert_eq!(report.stage_outputs, vec![50]);
         assert_eq!(report.delivered_bytes, 500);
     }
@@ -206,14 +236,31 @@ mod tests {
     fn filtering_stage_drops_items() {
         let stages = vec![LiveStage::compute("even-only", |it: LiveItem| {
             if it.id.is_multiple_of(2) {
-                Some(it)
+                StageResult::Emit(it)
             } else {
-                None
+                StageResult::Drop
             }
         })];
         let report = run_live(stages, items(10, 1), 4);
         assert_eq!(report.delivered, 5);
         assert_eq!(report.dropped, 5);
+        assert_eq!(report.failed, 0);
+    }
+
+    #[test]
+    fn failing_stage_counts_typed_failures() {
+        // Every third item "fails to decode"; the rest flow through.
+        let stages = vec![LiveStage::compute("flaky", |it: LiveItem| {
+            if it.id.is_multiple_of(3) {
+                StageResult::Fail
+            } else {
+                StageResult::Emit(it)
+            }
+        })];
+        let report = run_live(stages, items(9, 1), 4);
+        assert_eq!(report.failed, 3);
+        assert_eq!(report.delivered, 6);
+        assert_eq!(report.dropped, 0, "failures are not policy drops");
     }
 
     #[test]
@@ -221,11 +268,11 @@ mod tests {
         let stages = vec![
             LiveStage::compute("tag+1", |mut it: LiveItem| {
                 it.tag += 1;
-                Some(it)
+                StageResult::Emit(it)
             }),
             LiveStage::compute("tag*2", |mut it: LiveItem| {
                 it.tag *= 2;
-                Some(it)
+                StageResult::Emit(it)
             }),
         ];
         let report = run_live(stages, items(3, 1), 2);

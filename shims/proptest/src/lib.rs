@@ -129,7 +129,7 @@ impl_strategy_tuple!(
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length bounds for [`vec`].
+    /// Length bounds for [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,

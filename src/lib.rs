@@ -45,9 +45,9 @@ pub mod prelude {
     pub use sieve_core::{
         analyze, analyze_selected, analyze_sieve, f1_score, run_live_analysis, score_encoding,
         score_selection, simulate_all, simulate_baseline, tune, AnalysisResult, Baseline,
-        BaselineSpec, ConfigGrid, Deployment, DetectionQuality, FrameSelector, IFrameSeeker,
-        IFrameSelector, LiveAnalysis, LiveConfig, LookupTable, SelectorKind, SieveError,
-        TuningOutcome,
+        BaselineSpec, CalibrationCurve, ConfigGrid, Decision, Deployment, DetectionQuality,
+        EncodedFrameMeta, FrameSelector, IFrameSeeker, IFrameSelector, LiveAnalysis, LiveConfig,
+        LookupTable, SelectorCost, SelectorKind, SelectorSession, SieveError, TuningOutcome,
     };
     pub use sieve_datasets::{
         segment_events, DatasetId, DatasetScale, DatasetSpec, Event, LabelSet, ObjectClass,

@@ -6,9 +6,9 @@
 
 use proptest::prelude::*;
 use sieve::prelude::*;
-use sieve_core::propagate_labels;
+use sieve_core::{propagate_labels, Decision, EncodedFrameMeta, FixedSelector};
 use sieve_video::bitio::{BitReader, BitWriter};
-use sieve_video::{EncodedVideo, VideoIndex};
+use sieve_video::{Decoder, EncodedVideo, VideoIndex};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -164,6 +164,85 @@ proptest! {
         // entry bottleneck when all items arrive at t=0).
         prop_assert!(rep.makespan_secs >= sum_a - 1e-9);
         prop_assert!(rep.makespan_secs >= max_single - 1e-9);
+    }
+
+    /// For every registered selection policy, on random synthetic GOP
+    /// structures and budgets, the streaming session's kept indices equal
+    /// the batch `select_indices` result exactly — and metadata-only
+    /// policies never request pixels, so their sessions hold zero decoded
+    /// frames (pixel policies hold at most the previous frame by
+    /// construction).
+    #[test]
+    fn streaming_sessions_equal_batch_selection(
+        seed in 0u64..500,
+        gop in 2usize..9,
+        frames in 4usize..32,
+        pct in 5u32..60,
+    ) {
+        let res = Resolution::new(32, 32);
+        let video = EncodedVideo::encode(
+            res,
+            30,
+            EncoderConfig::new(gop, 0),
+            (0..frames).map(|i| {
+                let mut f = Frame::grey(res);
+                let phase = (seed % 7) as usize;
+                for y in 0..32usize {
+                    for x in 0..32usize {
+                        f.y_mut().put(x, y, ((x * 3 + y * 5 + i * phase) % 210) as u8);
+                    }
+                }
+                if i.is_multiple_of((seed % 5) as usize + 3) {
+                    // Occasional bright box: a content change MSE can see.
+                    for y in 8..20usize {
+                        for x in 8..20usize {
+                            f.y_mut().put(x, y, 250);
+                        }
+                    }
+                }
+                f
+            }),
+        );
+        let fraction = pct as f64 / 100.0;
+        let selectors: Vec<Box<dyn FrameSelector>> = vec![
+            Box::new(IFrameSelector::new()),
+            Box::new(UniformSelector::new(gop)),
+            Box::new(MseSelector::mse(Budget::Fraction(fraction))),
+            Box::new(MseSelector::mse(Budget::Threshold((seed % 90) as f64))),
+            Box::new(FixedSelector::new(vec![0, frames / 3, frames - 1])),
+        ];
+        for mut sel in selectors {
+            let name = sel.name();
+            let batch = sel.select_indices(&video).expect("batch selection");
+            // Drive a session by hand, as a live edge would: one frame at a
+            // time, stateful decode, two-phase observe.
+            sel.prepare(&video).expect("prepare");
+            let mut session = sel.session();
+            let metadata_only = !sel.requires_full_decode();
+            let mut decoder = Decoder::new(res, video.quality());
+            let mut kept = Vec::new();
+            for (i, ef) in video.frames().iter().enumerate() {
+                if session.done() {
+                    break;
+                }
+                let meta = EncodedFrameMeta::of(ef);
+                let frame = decoder.decode_frame(ef).expect("decodes");
+                let mut decision = session.observe(i, &meta, None);
+                if decision == Decision::NeedsDecode {
+                    prop_assert!(
+                        !metadata_only,
+                        "{name}: metadata-only policy requested pixels"
+                    );
+                    decision = session.observe(i, &meta, Some(&frame));
+                }
+                prop_assert!(decision != Decision::NeedsDecode, "{name}: pixels demanded twice");
+                if decision == Decision::Keep {
+                    kept.push(i);
+                }
+            }
+            session.finish().expect("finish");
+            prop_assert_eq!(&kept, &batch, "{} session/batch divergence", name);
+        }
     }
 
     /// Event segmentation partitions any label sequence.
