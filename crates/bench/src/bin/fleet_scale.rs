@@ -1,0 +1,179 @@
+//! Fleet scaling: aggregate edge throughput as concurrent streams grow on
+//! a fixed-size worker pool.
+//!
+//! For each fleet size the harness admits N heterogeneous synthetic
+//! streams (the five Table I datasets cycled, per-stream seeds derived
+//! from `(fleet_seed, stream_id)`, staggered GOP cadences), feeds them
+//! from concurrent camera threads through bounded per-stream queues, and
+//! reports wall time, aggregate frames/second, the kept fraction, shed
+//! events and — for the adaptive streams — how far the on-line controller
+//! landed from its target sampling rate.
+//!
+//! Run with: `cargo run --release -p sieve-bench --bin fleet_scale`
+//! (`--scale small` for longer streams, `--shards N` for the pool size).
+
+use sieve_bench::report::{pct, table};
+use sieve_bench::scale_from_args;
+use sieve_core::{FrameSelector, IFrameSelector};
+use sieve_datasets::{DatasetId, DatasetScale, DatasetSpec};
+use sieve_filters::{Budget, MseSelector, UniformSelector};
+use sieve_fleet::{Fleet, FleetConfig, FramePacket, Ingest, StreamConfig};
+use sieve_video::{EncodedVideo, EncoderConfig};
+
+const FLEET_SEED: u64 = 0x51EE_E00D;
+const TARGET_RATE: f64 = 0.1;
+
+fn shards_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+/// One pre-encoded synthetic camera.
+struct Camera {
+    name: String,
+    encoded: EncodedVideo,
+    selector: Box<dyn FrameSelector + Send>,
+    target_rate: Option<f64>,
+}
+
+fn cameras(n: usize, scale: DatasetScale, frames: usize) -> Vec<Camera> {
+    (0..n)
+        .map(|i| {
+            let dataset = DatasetId::ALL[i % DatasetId::ALL.len()];
+            let spec = DatasetSpec::for_stream(dataset, FLEET_SEED, i as u64);
+            let video = spec.generate(scale);
+            let gop = 60 + 30 * (i % 4); // staggered scenecut cadences
+            let encoded = EncodedVideo::encode(
+                video.resolution(),
+                video.fps(),
+                EncoderConfig::new(gop, 120),
+                video.frames().take(frames),
+            );
+            let (selector, target_rate): (Box<dyn FrameSelector + Send>, Option<f64>) = match i % 3
+            {
+                0 => (Box::new(IFrameSelector::new()), None),
+                1 => (
+                    Box::new(MseSelector::mse(Budget::TargetRate(TARGET_RATE))),
+                    Some(TARGET_RATE),
+                ),
+                _ => (Box::new(UniformSelector::new(10)), None),
+            };
+            Camera {
+                name: format!("{dataset}#{i}"),
+                encoded,
+                selector,
+                target_rate,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let shards = shards_from_args();
+    let frames = match scale {
+        DatasetScale::Tiny => 240,
+        DatasetScale::Small => 400,
+        DatasetScale::Full => 1200,
+    };
+    println!(
+        "Fleet scaling: heterogeneous streams on a {shards}-shard pool \
+         ({frames} frames/stream at scale = {scale:?})\n"
+    );
+
+    let mut rows = Vec::new();
+    for n in [1usize, 4, 8, 16] {
+        // Generate and encode the cameras *before* starting the fleet:
+        // the wall clock below measures serving, not content synthesis.
+        let cams = cameras(n, scale, frames);
+        let fleet = Fleet::new(FleetConfig {
+            shards,
+            queue_capacity: 16,
+            global_frame_budget: 16 * shards.max(1) * 4,
+            max_streams: n.max(16),
+        });
+        let mut joined = Vec::new();
+        for cam in &cams {
+            let mut cfg = StreamConfig::new(
+                cam.name.clone(),
+                cam.encoded.resolution(),
+                cam.encoded.quality(),
+            );
+            if let Some(r) = cam.target_rate {
+                cfg = cfg.with_target_rate(r);
+            }
+            joined.push(fleet.join(cam.selector.as_ref(), cfg).expect("admission"));
+        }
+        // Concurrent cameras: push every frame, re-offering shed frames
+        // (with a short back-off) so the throughput number reflects full
+        // processing of the workload; each refusal still counts as one
+        // shed event — the back-pressure signal the table reports.
+        std::thread::scope(|scope| {
+            for (cam, &id) in cams.iter().zip(&joined) {
+                let fleet = &fleet;
+                let encoded = &cam.encoded;
+                scope.spawn(move || {
+                    for (i, ef) in encoded.frames().iter().enumerate() {
+                        loop {
+                            match fleet.push(id, FramePacket::of(i, ef)).expect("push") {
+                                Ingest::Queued => break,
+                                Ingest::Shed(_) => {
+                                    std::thread::sleep(std::time::Duration::from_micros(200));
+                                }
+                            }
+                        }
+                    }
+                    fleet.leave(id).expect("leave");
+                });
+            }
+        });
+        let report = fleet.shutdown();
+        let agg = report.snapshot.aggregate;
+        let secs = report.wall.as_secs_f64();
+        let adaptive_err: Vec<f64> = report
+            .snapshot
+            .streams
+            .iter()
+            .filter_map(|s| s.target_rate.map(|t| ((s.achieved_rate() - t) / t).abs()))
+            .collect();
+        let worst_err = adaptive_err.iter().cloned().fold(0.0, f64::max);
+        rows.push(vec![
+            n.to_string(),
+            agg.processed.to_string(),
+            format!("{secs:.2}"),
+            format!("{:.0}", agg.processed as f64 / secs),
+            pct(agg.kept as f64 / agg.processed.max(1) as f64),
+            agg.shed.to_string(),
+            if adaptive_err.is_empty() {
+                "-".to_string()
+            } else {
+                pct(worst_err)
+            },
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "streams",
+                "frames",
+                "wall (s)",
+                "agg fps",
+                "kept",
+                "refusals (retried)",
+                "worst |rate err|",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "(Fixed pool: aggregate fps should hold roughly flat as streams \
+         multiply until the shards saturate; shed events show back-pressure \
+         doing its job. Adaptive streams target {TARGET_RATE} sampling \
+         with no offline calibration.)"
+    );
+}

@@ -12,6 +12,7 @@
 //! | `fig4` | Fig 4 — end-to-end throughput of five baselines |
 //! | `fig5` | Fig 5 — camera→edge and edge→cloud data transfer |
 //! | `ablations` | scenecut/GOP sweeps, object-size↔scenecut, NN split |
+//! | `fleet_scale` | beyond the paper: aggregate edge throughput vs. concurrent stream count on a fixed `sieve-fleet` worker pool |
 //!
 //! Run any of them with `cargo run --release -p sieve-bench --bin <name>`.
 //! Pass `--scale small` (default `tiny`) for longer, higher-resolution runs.

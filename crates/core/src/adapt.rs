@@ -1,0 +1,498 @@
+//! On-line threshold adaptation: streaming score statistics that retarget a
+//! change threshold to hit a requested sampling rate.
+//!
+//! The paper's fraction budgets are resolved *offline*: score the whole
+//! video, sort, pick the threshold that keeps the requested fraction
+//! ([`crate::FrameSelector::prepare`]). A live edge never sees the whole
+//! video, so this module provides the on-line counterpart used by
+//! `sieve_filters::AdaptiveChangeSession` and the `sieve-fleet` runtime:
+//!
+//! * [`Ewma`] — an exponentially weighted moving average, used both for the
+//!   achieved-rate estimate and for the score-spread scale;
+//! * [`P2Quantile`] — the P² streaming quantile estimator (Jain &
+//!   Chlamtac, CACM 1985): five markers track any quantile of an unbounded
+//!   stream in O(1) memory, no samples stored;
+//! * [`RateController`] — the controller itself. It thresholds each score
+//!   at the running `(1 - target)`-quantile (the operating point whose keep
+//!   probability is `target` on a stationary stream) plus a small
+//!   stochastic-approximation bias that nudges the achieved rate toward the
+//!   target, correcting estimator bias and slow drift.
+//!
+//! The controller is fully deterministic: the same score stream always
+//! yields the same decisions.
+
+use crate::error::SieveError;
+
+/// An exponentially weighted moving average with a fixed smoothing factor.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// A new average; `alpha` in `(0, 1]` is the weight of each new sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
+        Self { alpha, value: None }
+    }
+
+    /// Folds in one sample and returns the updated average. The first
+    /// sample initialises the average directly.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// The current average, or `default` before any sample arrived.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// The current average, if any sample has arrived.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// The P² streaming quantile estimator: tracks the `p`-quantile of an
+/// unbounded stream with five markers and no stored samples.
+///
+/// Until five observations have arrived the estimate is the empirical
+/// quantile of the buffered prefix; from the sixth observation on, marker
+/// heights move by the piecewise-parabolic (P²) update.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimated quantile values).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    increments: [f64; 5],
+    /// Initialisation buffer holding the first < 5 observations, sorted.
+    init: Vec<f64>,
+    count: u64,
+}
+
+impl P2Quantile {
+    /// An estimator for the `p`-quantile, `p` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0, 1]");
+        Self {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            init: Vec::with_capacity(5),
+            count: 0,
+        }
+    }
+
+    /// Number of observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The current quantile estimate; `None` before the first observation.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            // Empirical quantile of the sorted prefix.
+            let idx = (self.p * (self.init.len() - 1) as f64).round() as usize;
+            return Some(self.init[idx.min(self.init.len() - 1)]);
+        }
+        Some(self.heights[2])
+    }
+
+    /// Folds in one observation.
+    pub fn insert(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            let at = self.init.partition_point(|&v| v <= x);
+            self.init.insert(at, x);
+            if self.count == 5 {
+                self.heights.copy_from_slice(&self.init);
+            }
+            return;
+        }
+        // 1. Find the cell k containing x, clamping the extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k+1]
+            (0..4)
+                .find(|&i| x < self.heights[i + 1])
+                .expect("x is within [heights[0], heights[4])")
+        };
+        // 2. Shift actual positions above the cell; advance desired ones.
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+        // 3. Adjust the three interior markers toward their desired ranks.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// The piecewise-parabolic (P²) height prediction for marker `i` moved
+    /// by `d` (±1).
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        h + d / (np - nm)
+            * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
+    }
+
+    /// Linear fallback when the parabolic prediction is not monotone.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+}
+
+/// Retargets a change-score threshold on-line so that the keep rate tracks
+/// a requested sampling rate, with no offline calibration pass.
+///
+/// Per score the controller (1) thresholds at the running
+/// `(1 - target)`-quantile plus a bias term, (2) folds the score into the
+/// [`P2Quantile`] and the keep decision into an achieved-rate [`Ewma`], and
+/// (3) nudges the bias by a stochastic-approximation step proportional to
+/// `(kept - target)` and the score spread — so persistent over-sampling
+/// raises the threshold and under-sampling lowers it even when the quantile
+/// estimate is biased or the stream drifts.
+///
+/// ```
+/// use sieve_core::adapt::RateController;
+///
+/// let mut rc = RateController::new(0.2).unwrap();
+/// // A deterministic stationary stream with distinct scores.
+/// let mut kept = 0;
+/// for i in 0..2000u64 {
+///     let score = ((i.wrapping_mul(2654435761)) % 1000) as f64;
+///     if rc.observe(score) {
+///         kept += 1;
+///     }
+/// }
+/// let rate = kept as f64 / 2000.0;
+/// assert!((rate - 0.2).abs() < 0.05, "achieved {rate}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateController {
+    target: f64,
+    quantile: P2Quantile,
+    rate: Ewma,
+    spread: Ewma,
+    bias: f64,
+    gain: f64,
+    observed: u64,
+    kept: u64,
+}
+
+impl RateController {
+    /// A controller targeting `target` (fraction of frames kept) in
+    /// `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::Selector`] for a target outside `(0, 1]`.
+    pub fn new(target: f64) -> Result<Self, SieveError> {
+        if !(target > 0.0 && target <= 1.0) {
+            return Err(SieveError::selector(format!(
+                "target sampling rate {target} outside (0, 1]"
+            )));
+        }
+        Ok(Self {
+            target,
+            quantile: P2Quantile::new(1.0 - target),
+            rate: Ewma::new(0.02),
+            spread: Ewma::new(0.05),
+            bias: 0.0,
+            gain: 0.04,
+            observed: 0,
+            kept: 0,
+        })
+    }
+
+    /// The requested sampling rate.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// The threshold the next score will be compared against. Before any
+    /// score arrives it is `-inf`-like (everything is kept while the
+    /// distribution is unknown — shipping an extra frame is recoverable,
+    /// losing an early event is not).
+    pub fn threshold(&self) -> f64 {
+        match self.quantile.estimate() {
+            None => f64::NEG_INFINITY,
+            Some(q) => q + self.bias,
+        }
+    }
+
+    /// Observes one change score and decides whether to keep the frame,
+    /// updating every running statistic.
+    pub fn observe(&mut self, score: f64) -> bool {
+        let keep = score > self.threshold();
+        self.observed += 1;
+        if keep {
+            self.kept += 1;
+        }
+        self.rate.update(if keep { 1.0 } else { 0.0 });
+        let base = self.quantile.estimate().unwrap_or(score);
+        self.spread.update((score - base).abs());
+        self.quantile.insert(score);
+        // Stochastic-approximation correction: scale the step by the score
+        // spread so the controller is unit-free, with a decaying gain —
+        // strong corrections while the quantile estimate is still coarse
+        // (shortening the start-up transient), settling to a small
+        // steady-state gain that keeps tracking drift.
+        let decay = 10.0 / (1.0 + self.observed as f64 / 8.0);
+        let gain = self.gain * decay.max(1.0);
+        // Scale floor: a constant-score stream has zero spread, and a
+        // subnormal step would be absorbed by the `quantile + bias`
+        // rounding — freezing the controller. Floor at a ppm of the score
+        // scale so even degenerate streams keep a live control loop.
+        let scale = self
+            .spread
+            .value_or(0.0)
+            .max(1e-6 * base.abs())
+            .max(f64::MIN_POSITIVE);
+        let step = gain * scale;
+        // Two error terms: the per-frame indicator is the unbiased
+        // stochastic gradient, and a bounded integral term on the *keep
+        // debt* (frames kept beyond `target × observed`) repays transient
+        // overshoot — e.g. a level shift the cumulative quantile absorbs
+        // slowly — so the cumulative sampling rate, not just the recent
+        // one, converges to the target.
+        let indicator = if keep { 1.0 } else { 0.0 } - self.target;
+        let debt = self.kept as f64 - self.target * self.observed as f64;
+        self.bias += step * (indicator + (debt / 8.0).clamp(-1.0, 1.0));
+        keep
+    }
+
+    /// Records a frame kept unconditionally (e.g. the first frame of a
+    /// stream): it counts toward the achieved rate but carries no score.
+    pub fn note_forced_keep(&mut self) {
+        self.observed += 1;
+        self.kept += 1;
+        self.rate.update(1.0);
+    }
+
+    /// Frames observed so far (decided or forced).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Fraction of observed frames kept, over the whole stream so far.
+    pub fn achieved_rate(&self) -> f64 {
+        if self.observed == 0 {
+            0.0
+        } else {
+            self.kept as f64 / self.observed as f64
+        }
+    }
+
+    /// Exponentially smoothed recent keep rate (tracks drift faster than
+    /// [`RateController::achieved_rate`]).
+    pub fn smoothed_rate(&self) -> f64 {
+        self.rate.value_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-uniform stream in [0, 1).
+    fn uniform(seed: u64, i: u64) -> f64 {
+        let mut z = seed
+            .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x1234_5678);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn ewma_tracks_mean() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        e.update(10.0);
+        assert_eq!(e.value(), Some(10.0));
+        e.update(0.0);
+        assert_eq!(e.value(), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn p2_matches_empirical_quantile_on_uniform() {
+        for &p in &[0.1, 0.5, 0.9, 0.95] {
+            let mut q = P2Quantile::new(p);
+            for i in 0..20_000u64 {
+                q.insert(uniform(7, i));
+            }
+            let est = q.estimate().unwrap();
+            assert!(
+                (est - p).abs() < 0.03,
+                "P2({p}) on uniform gave {est}, expected ~{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2_small_sample_prefix_is_empirical() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), None);
+        for &x in &[5.0, 1.0, 3.0] {
+            q.insert(x);
+        }
+        assert_eq!(q.estimate(), Some(3.0), "median of {{1, 3, 5}}");
+    }
+
+    #[test]
+    fn p2_handles_constant_stream() {
+        let mut q = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            q.insert(42.0);
+        }
+        assert_eq!(q.estimate(), Some(42.0));
+    }
+
+    #[test]
+    fn controller_rejects_bad_targets() {
+        assert!(RateController::new(0.0).is_err());
+        assert!(RateController::new(1.5).is_err());
+        assert!(RateController::new(-0.1).is_err());
+        assert!(RateController::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn controller_converges_on_stationary_streams() {
+        // Exponential-ish and uniform stationary streams, several targets:
+        // the tail keep rate must land within ±20% of the target.
+        for &target in &[0.05, 0.1, 0.3] {
+            for seed in 0..3u64 {
+                let mut rc = RateController::new(target).unwrap();
+                let n = 6000u64;
+                let tail_from = n / 2;
+                let mut tail_kept = 0u64;
+                for i in 0..n {
+                    let u = uniform(seed, i);
+                    // Mixture: mostly small "background" scores, occasional
+                    // heavy-tail spikes — the shape of real MSE streams.
+                    let score = if u < 0.9 { u } else { 10.0 + 100.0 * (u - 0.9) };
+                    let keep = rc.observe(score);
+                    if keep && i >= tail_from {
+                        tail_kept += 1;
+                    }
+                }
+                let rate = tail_kept as f64 / (n - tail_from) as f64;
+                assert!(
+                    (rate - target).abs() <= 0.2 * target + 0.005,
+                    "target {target} seed {seed}: tail rate {rate}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn controller_adapts_to_drift() {
+        // The score scale grows 10x halfway; the controller must re-center.
+        let mut rc = RateController::new(0.1).unwrap();
+        let n = 8000u64;
+        let mut late_kept = 0u64;
+        for i in 0..n {
+            let scale = if i < n / 2 { 1.0 } else { 10.0 };
+            let keep = rc.observe(scale * uniform(3, i));
+            if keep && i >= 3 * n / 4 {
+                late_kept += 1;
+            }
+        }
+        let rate = late_kept as f64 / (n / 4) as f64;
+        assert!(
+            (rate - 0.1).abs() <= 0.03,
+            "post-drift rate {rate} strayed from 0.1"
+        );
+    }
+
+    #[test]
+    fn controller_does_not_freeze_on_constant_scores() {
+        // Zero spread must not zero out the control loop: on a perfectly
+        // constant stream the threshold dithers around the tied value and
+        // the cumulative rate still tracks the target (bang-bang control).
+        for &c in &[42.0, 1e6] {
+            let mut rc = RateController::new(0.1).unwrap();
+            let n = 6000u64;
+            let mut kept = 0u64;
+            for _ in 0..n {
+                if rc.observe(c) {
+                    kept += 1;
+                }
+            }
+            let rate = kept as f64 / n as f64;
+            assert!(
+                (rate - 0.1).abs() <= 0.05,
+                "constant-score ({c}) stream achieved {rate}, want ~0.1"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_keeps_count_toward_achieved_rate() {
+        let mut rc = RateController::new(0.5).unwrap();
+        rc.note_forced_keep();
+        assert_eq!(rc.observed(), 1);
+        assert!((rc.achieved_rate() - 1.0).abs() < 1e-12);
+    }
+}

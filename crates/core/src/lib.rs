@@ -11,6 +11,8 @@
 //! * [`select`] — the streaming selection layer: [`FrameSelector`]
 //!   factories, incremental [`SelectorSession`]s, trait-owned
 //!   [`SelectorCost`] models and batched calibration;
+//! * [`adapt`] — on-line threshold adaptation (EWMA, P² streaming
+//!   quantile, the [`RateController`] behind `Budget::TargetRate`);
 //! * [`metrics`] — accuracy / filtering rate / F1 with label propagation;
 //! * [`events`] — the analysis path producing `(frame, labels)` tuples;
 //! * [`pipeline`] — end-to-end simulation of the five Fig 4/5 baselines on
@@ -37,6 +39,7 @@
 //! assert!(quality.accuracy > 0.8);
 //! ```
 
+pub mod adapt;
 pub mod error;
 pub mod events;
 pub mod live;
@@ -49,9 +52,10 @@ pub mod select;
 pub mod store;
 pub mod tuner;
 
+pub use adapt::{Ewma, P2Quantile, RateController};
 pub use error::SieveError;
 pub use events::{analyze, analyze_selected, analyze_sieve, AnalysisResult};
-pub use live::{run_live_analysis, LiveAnalysis, LiveConfig};
+pub use live::{run_live_analysis, EdgeOutcome, EdgeSession, LiveAnalysis, LiveConfig};
 pub use lookup::LookupTable;
 pub use metrics::{f1_score, label_accuracy, propagate_labels, score_selection, DetectionQuality};
 pub use pipeline::{

@@ -4,7 +4,7 @@
 //! costs, this module actually runs one on OS threads via
 //! `sieve-simnet`'s back-pressured [`run_live`] runtime: the camera stage
 //! feeds encoded frames, the edge stage drives any [`FrameSelector`]'s
-//! streaming [`SelectorSession`](crate::select::SelectorSession) *in
+//! streaming [`SelectorSession`] *in
 //! place* — observing each frame's metadata as it arrives, decoding only
 //! when the policy asks, keeping or dropping on the spot — a
 //! bandwidth-throttled WAN stage carries the survivors, and the cloud stage
@@ -27,7 +27,7 @@ use sieve_video::{Decoder, EncodedVideo, FrameType, Resolution};
 use crate::error::SieveError;
 use crate::events::AnalysisResult;
 use crate::metrics::propagate_labels;
-use crate::select::{Decision, EncodedFrameMeta, FrameSelector};
+use crate::select::{Decision, EncodedFrameMeta, FrameSelector, SelectorSession};
 
 /// Configuration of the live 3-tier run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +61,132 @@ pub struct LiveAnalysis {
     pub result: AnalysisResult,
 }
 
+/// What the edge decided about one arriving encoded frame.
+#[derive(Debug)]
+pub enum EdgeOutcome {
+    /// The policy kept the frame; here are its decoded pixels.
+    Kept(sieve_video::Frame),
+    /// The policy dropped the frame (filtering — a policy decision).
+    Dropped,
+    /// The frame failed to decode (a processing failure, not a drop).
+    Failed,
+}
+
+/// One stream's worth of edge-side state: a streaming selection session
+/// plus exactly the decode machinery its policy needs, applied with the
+/// live edge-stage semantics. This is the *single* implementation of the
+/// per-frame edge decision — [`run_live_analysis`] drives it inside a
+/// pipeline stage and the `sieve-fleet` multi-stream runtime drives one per
+/// stream, so the two paths cannot diverge.
+///
+/// State is bounded by construction: one stateful decoder (pixel policies),
+/// plus whatever the session itself holds (at most one previous decoded
+/// frame) — never a whole-video decode buffer or index vector.
+pub struct EdgeSession {
+    session: Box<dyn SelectorSession>,
+    full_decode: bool,
+    stream_decoder: Decoder,
+    resolution: Resolution,
+    quality: u8,
+}
+
+impl std::fmt::Debug for EdgeSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeSession")
+            .field("full_decode", &self.full_decode)
+            .field("resolution", &self.resolution)
+            .finish()
+    }
+}
+
+impl EdgeSession {
+    /// Opens a fresh edge session for `selector` on a stream of
+    /// `resolution`/`quality` frames. The caller is responsible for any
+    /// [`FrameSelector::prepare`] the policy needs — on-line policies
+    /// (metadata seeking, absolute thresholds, `Budget::TargetRate`
+    /// adaptation) need none, which is what lets a fleet open sessions for
+    /// streams it will never see in full.
+    pub fn open<S: FrameSelector + ?Sized>(
+        selector: &S,
+        resolution: Resolution,
+        quality: u8,
+    ) -> Self {
+        Self {
+            session: selector.session(),
+            full_decode: selector.requires_full_decode(),
+            stream_decoder: Decoder::new(resolution, quality),
+            resolution,
+            quality,
+        }
+    }
+
+    /// Observes the next arriving frame (ascending `index` per stream) and
+    /// returns the edge decision. Pixel policies advance the stateful
+    /// decoder through every frame (P-frames chain); metadata policies
+    /// decide first and independently decode survivors only.
+    pub fn observe(
+        &mut self,
+        index: usize,
+        frame_type: FrameType,
+        payload: Vec<u8>,
+    ) -> EdgeOutcome {
+        let meta = EncodedFrameMeta {
+            frame_type,
+            payload_len: payload.len(),
+        };
+        if self.session.done() {
+            return EdgeOutcome::Dropped;
+        }
+        let (decision, frame) = if self.full_decode {
+            // Decode unconditionally: P-frames chain, so the decoder state
+            // must advance even through dropped frames.
+            let ef = sieve_video::EncodedFrame {
+                frame_type,
+                data: payload,
+            };
+            let frame = match self.stream_decoder.decode_frame(&ef) {
+                Ok(f) => f,
+                Err(_) => return EdgeOutcome::Failed,
+            };
+            let decision = match self.session.observe(index, &meta, None) {
+                Decision::NeedsDecode => self.session.observe(index, &meta, Some(&frame)),
+                d => d,
+            };
+            (decision, frame)
+        } else {
+            // Metadata path: decide first, decode survivors only.
+            let first = self.session.observe(index, &meta, None);
+            if first == Decision::Drop {
+                return EdgeOutcome::Dropped;
+            }
+            let frame = match Decoder::decode_iframe(self.resolution, self.quality, &payload) {
+                Ok(f) => f,
+                Err(_) => return EdgeOutcome::Failed,
+            };
+            let decision = match first {
+                Decision::NeedsDecode => self.session.observe(index, &meta, Some(&frame)),
+                d => d,
+            };
+            (decision, frame)
+        };
+        if decision == Decision::Keep {
+            EdgeOutcome::Kept(frame)
+        } else {
+            EdgeOutcome::Dropped
+        }
+    }
+
+    /// End-of-stream hook: flushes the session and surfaces any deferred
+    /// policy failure (see [`SelectorSession::finish`]).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying session's `finish` reports.
+    pub fn finish(&mut self) -> Result<(), SieveError> {
+        self.session.finish()
+    }
+}
+
 /// Runs `video` through a live camera→edge→WAN→cloud pipeline with
 /// `selector` deciding *inside the edge stage* what survives and
 /// `detector` labelling survivors in the cloud.
@@ -88,65 +214,28 @@ where
     D: ObjectDetector + Send + 'static,
 {
     selector.prepare(video)?;
-    let mut session = selector.session();
-    let full_decode = selector.requires_full_decode();
     let res = video.resolution();
     let quality = video.quality();
     let nn_res = Resolution::new(config.nn_input, config.nn_input);
 
-    // Edge: drive the streaming session. Metadata-driven policies decode
-    // only survivors (independent I-frame decode); pixel policies must run
-    // the stateful full decoder over every frame to reach the survivors.
+    // Edge: drive the shared per-stream edge session (the same
+    // implementation the fleet runtime uses). Metadata-driven policies
+    // decode only survivors (independent I-frame decode); pixel policies
+    // run the stateful full decoder over every frame to reach the
+    // survivors.
     let edge = {
-        let mut stream_decoder = Decoder::new(res, quality);
+        let mut edge_session = EdgeSession::open(&*selector, res, quality);
         LiveStage::compute("edge: select+decode+resize", move |item: LiveItem| {
-            let idx = item.id as usize;
-            let meta = EncodedFrameMeta {
-                frame_type: if item.tag == 0 {
-                    FrameType::I
-                } else {
-                    FrameType::P
-                },
-                payload_len: item.payload.len(),
-            };
-            if session.done() {
-                return StageResult::Drop;
-            }
-            let (decision, frame) = if full_decode {
-                // Decode unconditionally: P-frames chain, so the decoder
-                // state must advance even through dropped frames.
-                let ef = sieve_video::EncodedFrame {
-                    frame_type: meta.frame_type,
-                    data: item.payload,
-                };
-                let frame = match stream_decoder.decode_frame(&ef) {
-                    Ok(f) => f,
-                    Err(_) => return StageResult::Fail,
-                };
-                let decision = match session.observe(idx, &meta, None) {
-                    Decision::NeedsDecode => session.observe(idx, &meta, Some(&frame)),
-                    d => d,
-                };
-                (decision, frame)
+            let frame_type = if item.tag == 0 {
+                FrameType::I
             } else {
-                // Metadata path: decide first, decode survivors only.
-                let first = session.observe(idx, &meta, None);
-                if first == Decision::Drop {
-                    return StageResult::Drop;
-                }
-                let frame = match Decoder::decode_iframe(res, quality, &item.payload) {
-                    Ok(f) => f,
-                    Err(_) => return StageResult::Fail,
-                };
-                let decision = match first {
-                    Decision::NeedsDecode => session.observe(idx, &meta, Some(&frame)),
-                    d => d,
-                };
-                (decision, frame)
+                FrameType::P
             };
-            if decision != Decision::Keep {
-                return StageResult::Drop;
-            }
+            let frame = match edge_session.observe(item.id as usize, frame_type, item.payload) {
+                EdgeOutcome::Kept(frame) => frame,
+                EdgeOutcome::Dropped => return StageResult::Drop,
+                EdgeOutcome::Failed => return StageResult::Fail,
+            };
             let small = frame.resize(nn_res);
             let mut bytes = Vec::with_capacity(small.raw_bytes());
             bytes.extend_from_slice(small.y().data());

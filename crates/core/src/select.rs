@@ -252,6 +252,13 @@ pub trait FrameSelector {
         SelectorCost::full_stream_decode()
     }
 
+    /// The sampling rate this policy targets *on-line*, if it has one
+    /// (an adaptive rate budget). Serving runtimes report achieved vs.
+    /// target rate from this. Defaults to `None` (no on-line target).
+    fn target_rate(&self) -> Option<f64> {
+        None
+    }
+
     /// Resolves whole-video parameters before streaming — e.g. a
     /// fraction-calibrated threshold that needs the video's score
     /// distribution. On-line policies do nothing. The batch wrappers and
@@ -478,6 +485,10 @@ impl<S: FrameSelector + ?Sized> FrameSelector for &mut S {
         (**self).cost_model()
     }
 
+    fn target_rate(&self) -> Option<f64> {
+        (**self).target_rate()
+    }
+
     fn prepare(&mut self, video: &EncodedVideo) -> Result<(), SieveError> {
         (**self).prepare(video)
     }
@@ -530,6 +541,10 @@ impl FrameSelector for Box<dyn FrameSelector + '_> {
 
     fn cost_model(&self) -> SelectorCost {
         (**self).cost_model()
+    }
+
+    fn target_rate(&self) -> Option<f64> {
+        (**self).target_rate()
     }
 
     fn prepare(&mut self, video: &EncodedVideo) -> Result<(), SieveError> {

@@ -38,6 +38,7 @@ pub use detector::{
 };
 pub use mse::{mse_luma, MseDetector};
 pub use select::{
-    selector_for, Budget, ChangeSelector, MseSelector, SiftSelector, UniformSelector,
+    selector_for, AdaptiveChangeSession, Budget, ChangeSelector, MseSelector, SiftSelector,
+    UniformSelector,
 };
 pub use sift::{SiftConfig, SiftDetector};

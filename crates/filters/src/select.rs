@@ -16,7 +16,11 @@
 //! distribution; [`FrameSelector::prepare`] resolves them to an absolute
 //! threshold in one streaming scoring pass (the paper's offline
 //! calibration), after which sessions replay the resolved operating point
-//! on-line. The batched [`FrameSelector::calibrate`] /
+//! on-line. [`Budget::TargetRate`] is the *deployable* counterpart: an
+//! [`AdaptiveChangeSession`] tracks the score distribution as it streams
+//! (EWMA + P² quantile) and retargets its threshold continuously, so a
+//! live edge hits a requested sampling rate with no offline pass at all.
+//! The batched [`FrameSelector::calibrate`] /
 //! [`FrameSelector::calibrate_fractions`] overrides score once and sweep
 //! every requested operating point in memory — Fig 3's one-decode
 //! calibration. Adding a baseline to the whole system is: implement the
@@ -25,8 +29,8 @@
 use std::sync::Arc;
 
 use sieve_core::{
-    CalibrationCurve, CalibrationPoint, Decision, EncodedFrameMeta, FrameSelector, SelectorCost,
-    SelectorSession, SieveError,
+    CalibrationCurve, CalibrationPoint, Decision, EncodedFrameMeta, FrameSelector, RateController,
+    SelectorCost, SelectorSession, SieveError,
 };
 use sieve_video::{Decoder, EncodedVideo, Frame};
 
@@ -45,6 +49,13 @@ pub enum Budget {
     /// fraction of frames is selected (the paper's matched-sampling
     /// comparison setting). Resolved by [`FrameSelector::prepare`].
     Fraction(f64),
+    /// Continuously retarget the threshold *on-line* so the achieved
+    /// sampling rate tracks this fraction, with no offline calibration pass
+    /// at all: sessions maintain a streaming score distribution (EWMA + P²
+    /// quantile, see [`sieve_core::RateController`]) and adapt as frames
+    /// arrive — the budget shape a live edge that never sees the whole
+    /// video can actually deploy. Sessions are [`AdaptiveChangeSession`]s.
+    TargetRate(f64),
 }
 
 /// Uniform sampling as a frame selector: keep every `interval`-th frame.
@@ -199,6 +210,13 @@ impl<D: ChangeDetector + Clone + Send + 'static> FrameSelector for ChangeSelecto
         SelectorCost::full_stream_decode().with_pairwise_compare()
     }
 
+    fn target_rate(&self) -> Option<f64> {
+        match self.budget {
+            Budget::TargetRate(r) => Some(r),
+            Budget::Threshold(_) | Budget::Fraction(_) => None,
+        }
+    }
+
     fn prepare(&mut self, video: &EncodedVideo) -> Result<(), SieveError> {
         self.resolved = match self.budget {
             Budget::Threshold(t) => Some(Resolved {
@@ -214,11 +232,29 @@ impl<D: ChangeDetector + Clone + Send + 'static> FrameSelector for ChangeSelecto
                     scores: Some(Arc::new(scores)),
                 })
             }
+            // On-line adaptation: nothing to resolve — sessions carry their
+            // own streaming distribution. Validate the rate eagerly so batch
+            // drivers fail before decoding anything.
+            Budget::TargetRate(r) => {
+                Self::validate_fraction(r)?;
+                None
+            }
         };
         Ok(())
     }
 
     fn session(&self) -> Box<dyn SelectorSession> {
+        // On-line adaptation never depends on `prepare`: every session is a
+        // fresh controller, so a fleet can open sessions for streams it
+        // will never see in full.
+        if let Budget::TargetRate(r) = self.budget {
+            return match AdaptiveChangeSession::new(self.detector.clone(), r) {
+                Ok(session) => Box::new(session),
+                Err(e) => Box::new(UnresolvedSession {
+                    reason: e.to_string(),
+                }),
+            };
+        }
         match &self.resolved {
             // Calibrated on this video: replay the scoring pass, no decoded
             // state at all.
@@ -239,7 +275,13 @@ impl<D: ChangeDetector + Clone + Send + 'static> FrameSelector for ChangeSelecto
                 Budget::Threshold(t) => Box::new(ChangeSession::new(self.detector.clone(), t)),
                 // A fraction budget streamed without `prepare` has no
                 // operating point; the session surfaces that in `finish`.
-                Budget::Fraction(_) => Box::new(UnresolvedSession),
+                Budget::Fraction(_) => Box::new(UnresolvedSession {
+                    reason: "fraction budget requires FrameSelector::prepare before streaming"
+                        .to_string(),
+                }),
+                Budget::TargetRate(_) => {
+                    unreachable!("TargetRate sessions are built before the resolved match")
+                }
             },
         }
     }
@@ -359,9 +401,12 @@ impl SelectorSession for ReplaySession {
     }
 }
 
-/// The session behind an unprepared fraction budget: selects nothing and
-/// reports the missing calibration at end of stream.
-struct UnresolvedSession;
+/// The session behind an unusable budget (an unprepared fraction, an
+/// invalid target rate): selects nothing and reports the reason at end of
+/// stream.
+struct UnresolvedSession {
+    reason: String,
+}
 
 impl SelectorSession for UnresolvedSession {
     fn observe(
@@ -374,9 +419,80 @@ impl SelectorSession for UnresolvedSession {
     }
 
     fn finish(&mut self) -> Result<(), SieveError> {
-        Err(SieveError::selector(
-            "fraction budget requires FrameSelector::prepare before streaming",
-        ))
+        Err(SieveError::selector(self.reason.clone()))
+    }
+}
+
+/// The on-line *adaptive* streaming session behind [`Budget::TargetRate`]:
+/// scores each decoded frame against its predecessor (the only decoded
+/// state held) and thresholds at a continuously retargeted operating point
+/// — a [`RateController`] tracking the score distribution with an EWMA and
+/// a P² streaming quantile so the achieved sampling rate converges to the
+/// target with *no* offline `prepare` pass. The first observed frame is
+/// always kept (and counted toward the achieved rate).
+pub struct AdaptiveChangeSession<D: ChangeDetector> {
+    detector: D,
+    controller: RateController,
+    prev: Option<Frame>,
+}
+
+impl<D: ChangeDetector> AdaptiveChangeSession<D> {
+    /// A fresh session targeting `rate` (fraction of frames kept) in
+    /// `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::Selector`] for a rate outside `(0, 1]`.
+    pub fn new(mut detector: D, rate: f64) -> Result<Self, SieveError> {
+        detector.reset();
+        Ok(Self {
+            detector,
+            controller: RateController::new(rate)?,
+            prev: None,
+        })
+    }
+
+    /// The controller's requested sampling rate.
+    pub fn target_rate(&self) -> f64 {
+        self.controller.target()
+    }
+
+    /// Fraction of observed frames kept so far.
+    pub fn achieved_rate(&self) -> f64 {
+        self.controller.achieved_rate()
+    }
+
+    /// The threshold the next score will be compared against.
+    pub fn threshold(&self) -> f64 {
+        self.controller.threshold()
+    }
+}
+
+impl<D: ChangeDetector + Send> SelectorSession for AdaptiveChangeSession<D> {
+    fn observe(
+        &mut self,
+        _index: usize,
+        _meta: &EncodedFrameMeta,
+        frame: Option<&Frame>,
+    ) -> Decision {
+        let Some(frame) = frame else {
+            return Decision::NeedsDecode;
+        };
+        let keep = match self.prev.take() {
+            None => {
+                self.controller.note_forced_keep();
+                true
+            }
+            Some(p) => self
+                .controller
+                .observe(self.detector.change_score(&p, frame)),
+        };
+        self.prev = Some(frame.clone());
+        if keep {
+            Decision::Keep
+        } else {
+            Decision::Drop
+        }
     }
 }
 
@@ -554,6 +670,56 @@ mod tests {
             let mut sel = MseSelector::mse(Budget::Fraction(p.target));
             assert_eq!(sel.select_indices(&v).unwrap(), p.selected);
         }
+    }
+
+    #[test]
+    fn target_rate_streams_without_prepare() {
+        // The on-line budget needs no whole-video pass: a raw session
+        // (opened without `prepare`, as a fleet does) tracks the target.
+        let v = sample_video(60);
+        let sel = MseSelector::mse(Budget::TargetRate(0.25));
+        let mut session = sel.session();
+        let mut decoder = Decoder::new(v.resolution(), v.quality());
+        let mut kept = 0usize;
+        for (i, ef) in v.frames().iter().enumerate() {
+            let meta = EncodedFrameMeta::of(ef);
+            let frame = decoder.decode_frame(ef).unwrap();
+            let decision = match session.observe(i, &meta, None) {
+                Decision::NeedsDecode => session.observe(i, &meta, Some(&frame)),
+                d => d,
+            };
+            if decision == Decision::Keep {
+                kept += 1;
+            }
+        }
+        session.finish().expect("on-line budget finishes cleanly");
+        assert!(kept > 0, "adaptive session kept nothing");
+        assert!(kept < 60, "adaptive session kept everything");
+    }
+
+    #[test]
+    fn target_rate_rejects_bad_rate() {
+        let v = sample_video(8);
+        let mut sel = MseSelector::mse(Budget::TargetRate(0.0));
+        assert!(matches!(sel.select(&v), Err(SieveError::Selector(_))));
+        // Even without prepare, a raw session surfaces the bad rate.
+        let session_err = MseSelector::mse(Budget::TargetRate(1.5)).session().finish();
+        assert!(matches!(session_err, Err(SieveError::Selector(_))));
+    }
+
+    #[test]
+    fn adaptive_session_reports_rates() {
+        let mut s = AdaptiveChangeSession::new(MseDetector::new(), 0.5).unwrap();
+        assert!((s.target_rate() - 0.5).abs() < 1e-12);
+        let res = Resolution::new(32, 32);
+        let meta = EncodedFrameMeta {
+            frame_type: sieve_video::FrameType::I,
+            payload_len: 0,
+        };
+        // First frame: always kept.
+        assert_eq!(s.observe(0, &meta, None), Decision::NeedsDecode);
+        assert_eq!(s.observe(0, &meta, Some(&Frame::grey(res))), Decision::Keep);
+        assert!((s.achieved_rate() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Fleet observability: per-stream counters and aggregate snapshots.
+//!
+//! Counters are lock-free atomics shared between the ingest path, the
+//! shard workers and snapshot readers, so [`crate::Fleet::snapshot`] never
+//! stalls a decode. The four terminal outcomes are accounted separately —
+//! in particular [`StreamSnapshot::shed`] (admission refused a frame under
+//! load) is *not* [`StreamSnapshot::dropped`] (the policy filtered a frame
+//! it saw): conflating them would make an overloaded edge look like a
+//! well-filtering one.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::registry::StreamId;
+
+/// Shared per-stream counters (internal; read through [`StreamSnapshot`]).
+#[derive(Debug, Default)]
+pub(crate) struct StreamCounters {
+    /// Frames the session decided on: kept + dropped + failed.
+    pub processed: AtomicU64,
+    /// Frames the policy kept.
+    pub kept: AtomicU64,
+    /// Frames the policy dropped (filtering).
+    pub dropped: AtomicU64,
+    /// Frames the edge failed to process (decode errors).
+    pub failed: AtomicU64,
+    /// Frames refused at admission (queue full or global budget exhausted).
+    pub shed: AtomicU64,
+    /// Encoded payload bytes of kept frames (transfer proxy).
+    pub kept_payload_bytes: AtomicU64,
+    /// Frames currently queued for this stream.
+    pub queue_depth: AtomicU64,
+}
+
+/// The shared cell the registry and the owning shard worker both hold for
+/// one stream.
+#[derive(Debug, Default)]
+pub(crate) struct StreamCell {
+    pub counters: StreamCounters,
+    /// Set once the stream's session has been flushed.
+    pub done: AtomicBool,
+    /// The session's end-of-stream error, if it reported one.
+    pub finish_error: Mutex<Option<String>>,
+}
+
+/// Point-in-time view of one stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSnapshot {
+    /// The stream's fleet-assigned id.
+    pub id: StreamId,
+    /// The caller's label (camera name, dataset, ...).
+    pub label: String,
+    /// The selection policy's [`sieve_core::FrameSelector::name`].
+    pub selector: &'static str,
+    /// The requested sampling rate, for policies that have one.
+    pub target_rate: Option<f64>,
+    /// Frames the session decided on (kept + dropped + failed).
+    pub processed: u64,
+    /// Frames kept by policy.
+    pub kept: u64,
+    /// Frames dropped by policy (filtering).
+    pub dropped: u64,
+    /// Frames that failed to process (decode errors).
+    pub failed: u64,
+    /// Frames shed at admission — never seen by the policy.
+    pub shed: u64,
+    /// Encoded payload bytes of kept frames.
+    pub kept_payload_bytes: u64,
+    /// Frames currently queued.
+    pub queue_depth: u64,
+    /// Whether the stream has left and its session was flushed.
+    pub done: bool,
+    /// The end-of-stream error the session reported, if any.
+    pub finish_error: Option<String>,
+}
+
+impl StreamSnapshot {
+    /// Fraction of processed frames the policy kept — the achieved
+    /// sampling rate, comparable against [`StreamSnapshot::target_rate`].
+    pub fn achieved_rate(&self) -> f64 {
+        if self.processed == 0 {
+            0.0
+        } else {
+            self.kept as f64 / self.processed as f64
+        }
+    }
+}
+
+/// Sums over every stream of a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetAggregate {
+    /// Number of streams (live and finished).
+    pub streams: usize,
+    /// Total frames decided on.
+    pub processed: u64,
+    /// Total frames kept.
+    pub kept: u64,
+    /// Total frames dropped by policy.
+    pub dropped: u64,
+    /// Total processing failures.
+    pub failed: u64,
+    /// Total frames shed at admission.
+    pub shed: u64,
+    /// Total encoded payload bytes of kept frames.
+    pub kept_payload_bytes: u64,
+    /// Frames currently queued fleet-wide.
+    pub queue_depth: u64,
+}
+
+/// Point-in-time view of the whole fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSnapshot {
+    /// One entry per stream, in join order.
+    pub streams: Vec<StreamSnapshot>,
+    /// Sums over all streams.
+    pub aggregate: FleetAggregate,
+}
+
+impl FleetSnapshot {
+    pub(crate) fn of(mut streams: Vec<StreamSnapshot>) -> Self {
+        streams.sort_by_key(|s| s.id);
+        let mut aggregate = FleetAggregate {
+            streams: streams.len(),
+            ..FleetAggregate::default()
+        };
+        for s in &streams {
+            aggregate.processed += s.processed;
+            aggregate.kept += s.kept;
+            aggregate.dropped += s.dropped;
+            aggregate.failed += s.failed;
+            aggregate.shed += s.shed;
+            aggregate.kept_payload_bytes += s.kept_payload_bytes;
+            aggregate.queue_depth += s.queue_depth;
+        }
+        Self { streams, aggregate }
+    }
+}
+
+/// Final outcome of a fleet run, returned by [`crate::Fleet::shutdown`].
+#[derive(Debug)]
+pub struct FleetReport {
+    /// The final per-stream and aggregate counters (all streams done).
+    pub snapshot: FleetSnapshot,
+    /// Wall-clock duration from fleet start to full drain.
+    pub wall: std::time::Duration,
+}
+
+impl StreamCell {
+    pub(crate) fn snapshot(
+        &self,
+        id: StreamId,
+        label: &str,
+        selector: &'static str,
+        target_rate: Option<f64>,
+    ) -> StreamSnapshot {
+        let c = &self.counters;
+        StreamSnapshot {
+            id,
+            label: label.to_string(),
+            selector,
+            target_rate,
+            processed: c.processed.load(Ordering::Relaxed),
+            kept: c.kept.load(Ordering::Relaxed),
+            dropped: c.dropped.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            kept_payload_bytes: c.kept_payload_bytes.load(Ordering::Relaxed),
+            queue_depth: c.queue_depth.load(Ordering::Relaxed),
+            done: self.done.load(Ordering::Acquire),
+            finish_error: self.finish_error.lock().clone(),
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Stream identity, admission configuration and fleet errors.
+
+use sieve_video::Resolution;
+
+/// Fleet-assigned identifier of one admitted stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub(crate) u64);
+
+impl StreamId {
+    /// The raw id value (stable for the lifetime of the fleet).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream#{}", self.0)
+    }
+}
+
+/// Per-stream admission parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Free-form label carried into snapshots (camera name, dataset, ...).
+    pub label: String,
+    /// The stream's frame resolution (every pushed frame must match).
+    pub resolution: Resolution,
+    /// The stream's encode quality, needed to decode its frames.
+    pub quality: u8,
+    /// The requested sampling rate, if the stream's policy targets one —
+    /// recorded so snapshots can report achieved vs. target.
+    pub target_rate: Option<f64>,
+}
+
+impl StreamConfig {
+    /// A stream of `resolution`/`quality` frames with a label.
+    pub fn new(label: impl Into<String>, resolution: Resolution, quality: u8) -> Self {
+        Self {
+            label: label.into(),
+            resolution,
+            quality,
+            target_rate: None,
+        }
+    }
+
+    /// Records the policy's target sampling rate for the metrics.
+    #[must_use]
+    pub fn with_target_rate(mut self, rate: f64) -> Self {
+        self.target_rate = Some(rate);
+        self
+    }
+}
+
+/// Failures of the fleet control plane (admission and ingest). Data-plane
+/// failures — a frame that will not decode — are *not* errors: they are
+/// counted per stream as `failed` and the stream keeps running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// Admission refused: the fleet is at its stream cap.
+    FleetFull {
+        /// The configured cap.
+        max_streams: usize,
+    },
+    /// No stream with this id (never joined, or already fully retired).
+    UnknownStream(StreamId),
+    /// The stream was closed; it accepts no further frames.
+    StreamClosed(StreamId),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::FleetFull { max_streams } => {
+                write!(f, "fleet at capacity ({max_streams} streams)")
+            }
+            FleetError::UnknownStream(id) => write!(f, "unknown {id}"),
+            FleetError::StreamClosed(id) => write!(f, "{id} is closed"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_id_displays() {
+        assert_eq!(StreamId(7).to_string(), "stream#7");
+        assert_eq!(StreamId(7).raw(), 7);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(FleetError::FleetFull { max_streams: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(FleetError::StreamClosed(StreamId(3))
+            .to_string()
+            .contains("stream#3"));
+    }
+
+    #[test]
+    fn config_builder() {
+        let c = StreamConfig::new("cam-a", Resolution::new(64, 48), 80).with_target_rate(0.1);
+        assert_eq!(c.label, "cam-a");
+        assert_eq!(c.target_rate, Some(0.1));
+    }
+}

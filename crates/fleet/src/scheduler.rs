@@ -1,0 +1,458 @@
+//! The sharded scheduler: a fixed worker pool driving one
+//! [`EdgeSession`] per stream over bounded per-stream queues.
+//!
+//! Streams are hashed to shards at admission; each shard is one OS thread
+//! plus one [`ShardQueue`] whose lanes are that shard's streams. Ingest
+//! ([`Fleet::push`]) never blocks: a frame that finds its lane full or the
+//! global frame budget exhausted is **shed** — counted, visible in the
+//! metrics, and never seen by the selection policy (distinct from a policy
+//! *drop*). Memory is bounded by construction: at most
+//! `global_frame_budget` encoded frames are queued fleet-wide, and the
+//! per-stream decode state is one [`EdgeSession`] (a stateful decoder plus
+//! at most one previous frame — never a whole-stream buffer).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+use sieve_core::{EdgeOutcome, EdgeSession, FrameSelector};
+use sieve_simnet::{Popped, PushOutcome, ShardQueue};
+use sieve_video::{EncodedFrame, Frame, FrameType};
+
+use crate::metrics::{FleetReport, FleetSnapshot, StreamCell};
+use crate::registry::{FleetError, StreamConfig, StreamId};
+
+/// One encoded frame in flight: what a camera pushes into the fleet.
+#[derive(Debug, Clone)]
+pub struct FramePacket {
+    /// Ascending per-stream frame index.
+    pub index: usize,
+    /// Frame type from the container metadata.
+    pub frame_type: FrameType,
+    /// Encoded payload.
+    pub payload: Vec<u8>,
+}
+
+impl FramePacket {
+    /// Packs frame `index` of an in-memory encoded stream.
+    pub fn of(index: usize, frame: &EncodedFrame) -> Self {
+        Self {
+            index,
+            frame_type: frame.frame_type,
+            payload: frame.data.clone(),
+        }
+    }
+}
+
+/// Why a frame was shed at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The stream's own bounded queue is full (slow consumer).
+    QueueFull,
+    /// The fleet-wide frame budget is exhausted (global overload).
+    GlobalBudget,
+}
+
+/// Outcome of one non-blocking [`Fleet::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ingest {
+    /// The frame was queued for its stream's shard.
+    Queued,
+    /// The frame was refused under load and will never be processed; the
+    /// stream's `shed` counter was incremented.
+    Shed(ShedCause),
+}
+
+/// Sizing of the fleet runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Worker threads; streams are hashed across them.
+    pub shards: usize,
+    /// Per-stream bounded queue depth (frames).
+    pub queue_capacity: usize,
+    /// Max encoded frames queued fleet-wide; pushes beyond it shed.
+    pub global_frame_budget: usize,
+    /// Admission cap on concurrently *live* streams (left streams free
+    /// their slot immediately).
+    pub max_streams: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 16,
+            global_frame_budget: 256,
+            max_streams: 64,
+        }
+    }
+}
+
+/// The per-stream worker-side state, owned by exactly one shard.
+struct StreamWorker {
+    edge: EdgeSession,
+    cell: Arc<StreamCell>,
+    on_keep: Option<KeepSink>,
+}
+
+/// Callback invoked on the shard thread for every kept frame.
+pub type KeepSink = Box<dyn FnMut(usize, &Frame) + Send>;
+
+/// The registry's view of one stream.
+struct StreamEntry {
+    shard: usize,
+    cell: Arc<StreamCell>,
+    label: String,
+    selector: &'static str,
+    target_rate: Option<f64>,
+    closed: bool,
+}
+
+/// A multi-stream edge runtime: stream admission, sharded scheduling with
+/// bounded queues and explicit load shedding, per-stream streaming
+/// selection. See the crate docs for the full model and an example.
+pub struct Fleet {
+    config: FleetConfig,
+    queues: Vec<Arc<ShardQueue<FramePacket>>>,
+    states: Vec<Arc<Mutex<HashMap<u64, StreamWorker>>>>,
+    workers: Vec<JoinHandle<()>>,
+    registry: RwLock<HashMap<u64, StreamEntry>>,
+    next_id: AtomicU64,
+    inflight: Arc<AtomicUsize>,
+    started: Instant,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("config", &self.config)
+            .field("streams", &self.registry.read().len())
+            .finish()
+    }
+}
+
+/// SplitMix64 finalizer (the same mixer `sieve_datasets::stream_seed`
+/// uses for content seeds): spreads sequential stream ids across shards.
+fn shard_of(id: u64, shards: usize) -> usize {
+    let mut z = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % shards as u64) as usize
+}
+
+impl Fleet {
+    /// Starts the worker pool (idle until streams join).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards`, `queue_capacity`, `global_frame_budget`
+    /// or `max_streams` is zero.
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(config.shards > 0, "fleet needs at least one shard");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(
+            config.global_frame_budget > 0,
+            "frame budget must be positive"
+        );
+        assert!(config.max_streams > 0, "stream cap must be positive");
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let mut queues = Vec::with_capacity(config.shards);
+        let mut states = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let queue = Arc::new(ShardQueue::<FramePacket>::new(config.queue_capacity));
+            let state: Arc<Mutex<HashMap<u64, StreamWorker>>> =
+                Arc::new(Mutex::new(HashMap::new()));
+            let (q, st, infl) = (queue.clone(), state.clone(), inflight.clone());
+            workers.push(std::thread::spawn(move || shard_loop(&q, &st, &infl)));
+            queues.push(queue);
+            states.push(state);
+        }
+        Self {
+            config,
+            queues,
+            states,
+            workers,
+            registry: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            inflight,
+            started: Instant::now(),
+        }
+    }
+
+    /// The runtime's sizing.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Admits a stream driven by `selector`'s streaming session. The
+    /// selector is consulted on the caller's thread (session factory +
+    /// metadata); only the session moves to the owning shard. On-line
+    /// policies need no `prepare`, which is the point: the fleet never
+    /// sees a whole video.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::FleetFull`] once `max_streams` streams are *live*
+    /// (joined and not yet left). Left streams stop counting toward the
+    /// cap immediately, so a fleet can churn streams indefinitely; their
+    /// registry entries stay resolvable for metrics until shutdown.
+    pub fn join<S: FrameSelector + ?Sized>(
+        &self,
+        selector: &S,
+        config: StreamConfig,
+    ) -> Result<StreamId, FleetError> {
+        self.admit(selector, config, None)
+    }
+
+    /// [`Fleet::join`], plus a sink invoked on the shard thread for every
+    /// kept frame `(index, pixels)` — the hook a cloud uplink or detector
+    /// attaches to.
+    ///
+    /// # Errors
+    ///
+    /// Same admission failures as [`Fleet::join`].
+    pub fn join_with_sink<S: FrameSelector + ?Sized>(
+        &self,
+        selector: &S,
+        config: StreamConfig,
+        on_keep: KeepSink,
+    ) -> Result<StreamId, FleetError> {
+        self.admit(selector, config, Some(on_keep))
+    }
+
+    fn admit<S: FrameSelector + ?Sized>(
+        &self,
+        selector: &S,
+        config: StreamConfig,
+        on_keep: Option<KeepSink>,
+    ) -> Result<StreamId, FleetError> {
+        let mut registry = self.registry.write();
+        // The cap applies to *live* streams: entries of left streams stay
+        // in the registry for metrics but free their admission slot.
+        if registry.values().filter(|e| !e.closed).count() >= self.config.max_streams {
+            return Err(FleetError::FleetFull {
+                max_streams: self.config.max_streams,
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let shard = shard_of(id, self.config.shards);
+        let cell = Arc::new(StreamCell::default());
+        let worker = StreamWorker {
+            edge: EdgeSession::open(selector, config.resolution, config.quality),
+            cell: cell.clone(),
+            on_keep,
+        };
+        // Worker state must exist before the lane opens: once the lane is
+        // visible, frames can reach the shard thread.
+        self.states[shard].lock().insert(id, worker);
+        assert!(self.queues[shard].open_lane(id), "fresh ids are unique");
+        registry.insert(
+            id,
+            StreamEntry {
+                shard,
+                cell,
+                label: config.label,
+                selector: selector.name(),
+                // Prefer the caller's explicit target; fall back to the
+                // policy's own on-line target so the metrics cannot
+                // silently disagree with the deployed budget.
+                target_rate: config.target_rate.or_else(|| selector.target_rate()),
+                closed: false,
+            },
+        );
+        Ok(StreamId(id))
+    }
+
+    /// Offers one frame, never blocking. Under load the frame is shed —
+    /// see [`Ingest::Shed`] — and the stream's policy never observes it.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownStream`] / [`FleetError::StreamClosed`] for
+    /// control-plane misuse; shedding is *not* an error.
+    pub fn push(&self, id: StreamId, packet: FramePacket) -> Result<Ingest, FleetError> {
+        let (shard, cell) = {
+            let registry = self.registry.read();
+            let entry = registry.get(&id.0).ok_or(FleetError::UnknownStream(id))?;
+            if entry.closed {
+                return Err(FleetError::StreamClosed(id));
+            }
+            (entry.shard, entry.cell.clone())
+        };
+        // Global budget first: one reservation per queued frame, released
+        // by the worker after processing.
+        let budget = self.config.global_frame_budget;
+        if self
+            .inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < budget).then_some(n + 1)
+            })
+            .is_err()
+        {
+            cell.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Ok(Ingest::Shed(ShedCause::GlobalBudget));
+        }
+        // Count the frame as queued *before* publishing it: once try_push
+        // succeeds the shard worker may pop (and decrement) immediately,
+        // and a decrement racing ahead of the increment would wrap the
+        // depth counter.
+        cell.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+        match self.queues[shard].try_push(id.0, packet) {
+            PushOutcome::Queued => Ok(Ingest::Queued),
+            PushOutcome::Shed => {
+                cell.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.inflight.fetch_sub(1, Ordering::AcqRel);
+                cell.counters.shed.fetch_add(1, Ordering::Relaxed);
+                Ok(Ingest::Shed(ShedCause::QueueFull))
+            }
+            PushOutcome::NoSuchLane | PushOutcome::LaneClosed => {
+                cell.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.inflight.fetch_sub(1, Ordering::AcqRel);
+                Err(FleetError::StreamClosed(id))
+            }
+        }
+    }
+
+    /// Ends a stream: no further frames are accepted; queued frames still
+    /// process, then the session is flushed on its shard and the stream
+    /// reports [`StreamSnapshot::done`](crate::StreamSnapshot::done).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownStream`] / [`FleetError::StreamClosed`].
+    pub fn leave(&self, id: StreamId) -> Result<(), FleetError> {
+        let mut registry = self.registry.write();
+        let entry = registry
+            .get_mut(&id.0)
+            .ok_or(FleetError::UnknownStream(id))?;
+        if entry.closed {
+            return Err(FleetError::StreamClosed(id));
+        }
+        entry.closed = true;
+        self.queues[entry.shard].close_lane(id.0);
+        Ok(())
+    }
+
+    /// A live, lock-light view of every stream and the fleet aggregate.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        let registry = self.registry.read();
+        FleetSnapshot::of(
+            registry
+                .iter()
+                .map(|(&id, e)| {
+                    e.cell
+                        .snapshot(StreamId(id), &e.label, e.selector, e.target_rate)
+                })
+                .collect(),
+        )
+    }
+
+    /// Frames currently queued fleet-wide (bounded by
+    /// [`FleetConfig::global_frame_budget`]).
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// Closes every stream, drains every queue, joins the workers and
+    /// returns the final report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked.
+    pub fn shutdown(mut self) -> FleetReport {
+        {
+            let mut registry = self.registry.write();
+            for (id, entry) in registry.iter_mut() {
+                if !entry.closed {
+                    entry.closed = true;
+                    self.queues[entry.shard].close_lane(*id);
+                }
+            }
+        }
+        for queue in &self.queues {
+            queue.shutdown();
+        }
+        for worker in std::mem::take(&mut self.workers) {
+            worker.join().expect("shard worker panicked");
+        }
+        let snapshot = self.snapshot();
+        FleetReport {
+            snapshot,
+            wall: self.started.elapsed(),
+        }
+    }
+}
+
+impl Drop for Fleet {
+    /// A fleet dropped without [`Fleet::shutdown`] (early return, panic
+    /// unwind) still stops and joins its workers instead of leaking
+    /// threads blocked on empty shard queues. After an explicit
+    /// `shutdown()` this is a no-op (queues already down, workers taken).
+    fn drop(&mut self) {
+        for queue in &self.queues {
+            queue.shutdown();
+        }
+        for worker in std::mem::take(&mut self.workers) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One shard's worker loop: round-robin over the shard's lanes, one frame
+/// at a time, with the stream's state taken out of the shared map for the
+/// duration of the (slow) decode so admission never waits on codec work.
+fn shard_loop(
+    queue: &ShardQueue<FramePacket>,
+    states: &Mutex<HashMap<u64, StreamWorker>>,
+    inflight: &AtomicUsize,
+) {
+    while let Some(popped) = queue.pop() {
+        match popped {
+            Popped::Item(key, packet) => {
+                let Some(mut worker) = states.lock().remove(&key) else {
+                    // Stream state already retired (finish raced a late
+                    // item); release the reservation and move on.
+                    inflight.fetch_sub(1, Ordering::AcqRel);
+                    continue;
+                };
+                let counters = &worker.cell.counters;
+                counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                let payload_len = packet.payload.len() as u64;
+                match worker
+                    .edge
+                    .observe(packet.index, packet.frame_type, packet.payload)
+                {
+                    EdgeOutcome::Kept(frame) => {
+                        counters.kept.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .kept_payload_bytes
+                            .fetch_add(payload_len, Ordering::Relaxed);
+                        if let Some(sink) = &mut worker.on_keep {
+                            sink(packet.index, &frame);
+                        }
+                    }
+                    EdgeOutcome::Dropped => {
+                        counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    EdgeOutcome::Failed => {
+                        counters.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                counters.processed.fetch_add(1, Ordering::Relaxed);
+                inflight.fetch_sub(1, Ordering::AcqRel);
+                states.lock().insert(key, worker);
+            }
+            Popped::LaneFinished(key) => {
+                if let Some(mut worker) = states.lock().remove(&key) {
+                    let result = worker.edge.finish();
+                    *worker.cell.finish_error.lock() = result.err().map(|e| e.to_string());
+                    worker.cell.done.store(true, Ordering::Release);
+                }
+            }
+        }
+    }
+}

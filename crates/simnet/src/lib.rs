@@ -11,6 +11,9 @@
 //! * [`des`] — a general discrete-event engine for non-linear scenarios;
 //! * [`live`] — a threaded runtime (crossbeam channels, back-pressure,
 //!   bandwidth throttling) that actually executes a pipeline;
+//! * [`shard`] — the multi-stream mailbox: bounded per-lane queues with
+//!   non-blocking shed, round-robin draining, runtime lane join/leave
+//!   (the scheduler substrate of `sieve-fleet`);
 //! * [`calibrate`] — measuring real per-operation costs to feed the
 //!   simulators.
 
@@ -18,6 +21,7 @@ pub mod calibrate;
 pub mod des;
 pub mod live;
 pub mod pipeline;
+pub mod shard;
 pub mod time;
 pub mod topology;
 
@@ -25,5 +29,6 @@ pub use calibrate::{measure_secs, CostProfile};
 pub use des::Simulator;
 pub use live::{run_live, LiveItem, LiveReport, LiveStage, StageResult};
 pub use pipeline::{ItemResult, Pipeline, PipelineReport, StageSpec, StepWork};
+pub use shard::{Popped, PushOutcome, ShardQueue};
 pub use time::SimTime;
 pub use topology::{Link, Node, ThreeTier};

@@ -3,10 +3,18 @@
 //! A minimal benchmarking harness exposing the API the workspace's benches
 //! use: [`Criterion::bench_function`], [`Bencher::iter`],
 //! [`Bencher::iter_batched`], `criterion_group!`, and `criterion_main!`.
-//! Reports the median per-iteration wall time; no statistics, plots or
-//! comparisons.
+//!
+//! Measurement is dispersion-aware: every benchmark runs a fixed warmup
+//! pass (unrecorded iterations that fault in code, caches and allocator
+//! state) before sampling, and reports the **median ± MAD** (median
+//! absolute deviation) over the recorded samples — a robust location /
+//! spread pair that one scheduling hiccup cannot corrupt. No plots or
+//! cross-run comparisons.
 
 use std::time::{Duration, Instant};
+
+/// Unrecorded iterations run before sampling starts.
+const WARMUP_ITERS: usize = 2;
 
 /// Re-export of [`std::hint::black_box`] under criterion's name.
 pub fn black_box<T>(x: T) -> T {
@@ -40,8 +48,12 @@ impl Bencher {
         }
     }
 
-    /// Times `routine`, recording `sample_count` samples.
+    /// Times `routine` after a fixed warmup pass, recording `sample_count`
+    /// samples.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
         for _ in 0..self.sample_count {
             let t0 = Instant::now();
             black_box(routine());
@@ -49,12 +61,16 @@ impl Bencher {
         }
     }
 
-    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    /// Times `routine` on fresh inputs from `setup` after a fixed warmup
+    /// pass; setup time is excluded.
     pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
     where
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
         for _ in 0..self.sample_count {
             let input = setup();
             let t0 = Instant::now();
@@ -63,12 +79,19 @@ impl Bencher {
         }
     }
 
-    fn median(&mut self) -> Option<Duration> {
+    /// Robust location and spread of the recorded samples: the median and
+    /// the median absolute deviation around it.
+    fn median_and_mad(&mut self) -> Option<(Duration, Duration)> {
         if self.samples.is_empty() {
             return None;
         }
         self.samples.sort();
-        Some(self.samples[self.samples.len() / 2])
+        let median = self.samples[self.samples.len() / 2];
+        let mut deviations: Vec<Duration> =
+            self.samples.iter().map(|&s| s.abs_diff(median)).collect();
+        deviations.sort();
+        let mad = deviations[deviations.len() / 2];
+        Some((median, mad))
     }
 }
 
@@ -99,26 +122,31 @@ impl Criterion {
     }
 
     /// Sets the measurement budget (accepted for API compatibility; the
-    /// shim's cost is `sample_size` iterations).
+    /// shim's cost is `sample_size` iterations plus the fixed warmup).
     #[must_use]
     pub fn measurement_time(mut self, d: Duration) -> Self {
         self.measurement_time = d;
         self
     }
 
-    /// Sets the warm-up budget (one warm-up call is always made).
+    /// Sets the warm-up budget (accepted for API compatibility; the shim
+    /// always runs a fixed warmup pass before sampling).
     #[must_use]
     pub fn warm_up_time(mut self, d: Duration) -> Self {
         self.warm_up_time = d;
         self
     }
 
-    /// Runs one named benchmark and prints its median iteration time.
+    /// Runs one named benchmark and prints its median ± MAD iteration
+    /// time over the recorded samples.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher::new(self.sample_size);
         f(&mut b);
-        match b.median() {
-            Some(median) => println!("bench {name:<40} median {median:>12.3?}"),
+        match b.median_and_mad() {
+            Some((median, mad)) => println!(
+                "bench {name:<40} median {median:>12.3?} ± {mad:>10.3?} (MAD, n={})",
+                self.sample_size
+            ),
             None => println!("bench {name:<40} (no samples)"),
         }
         self
@@ -151,4 +179,52 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_iterations_are_not_recorded() {
+        let mut b = Bencher::new(5);
+        let mut calls = 0usize;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5 + WARMUP_ITERS);
+        assert_eq!(b.samples.len(), 5, "only sampled iterations recorded");
+    }
+
+    #[test]
+    fn batched_setup_runs_per_warmup_and_sample() {
+        let mut b = Bencher::new(3);
+        let mut setups = 0usize;
+        b.iter_batched(
+            || {
+                setups += 1;
+            },
+            |()| {},
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 3 + WARMUP_ITERS);
+    }
+
+    #[test]
+    fn median_and_mad_are_robust_to_one_outlier() {
+        let mut b = Bencher::new(0);
+        for ms in [10u64, 10, 11, 9, 500] {
+            b.samples.push(Duration::from_millis(ms));
+        }
+        let (median, mad) = b.median_and_mad().expect("samples recorded");
+        assert_eq!(median, Duration::from_millis(10));
+        assert!(
+            mad <= Duration::from_millis(1),
+            "MAD ignores the outlier: {mad:?}"
+        );
+    }
+
+    #[test]
+    fn empty_bencher_reports_no_samples() {
+        let mut b = Bencher::new(0);
+        assert_eq!(b.median_and_mad(), None);
+    }
 }

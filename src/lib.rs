@@ -17,6 +17,7 @@
 //! | [`filters`] | `sieve-filters` | MSE / SIFT / uniform-sampling baselines |
 //! | [`simnet`] | `sieve-simnet` | dataflow engine, 3-tier topology, DES + live threaded runtime |
 //! | [`core`] | `sieve-core` | SiEVE itself: offline tuner, I-frame seeker, metrics, end-to-end pipelines |
+//! | [`fleet`] | `sieve-fleet` | multi-stream edge runtime: admission, sharded scheduling with load shedding, on-line adaptive selection |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +37,7 @@
 pub use sieve_core as core;
 pub use sieve_datasets as datasets;
 pub use sieve_filters as filters;
+pub use sieve_fleet as fleet;
 pub use sieve_nn as nn;
 pub use sieve_simnet as simnet;
 pub use sieve_video as video;
@@ -50,13 +52,14 @@ pub mod prelude {
         LookupTable, SelectorCost, SelectorKind, SelectorSession, SieveError, TuningOutcome,
     };
     pub use sieve_datasets::{
-        segment_events, DatasetId, DatasetScale, DatasetSpec, Event, LabelSet, ObjectClass,
-        SyntheticVideo,
+        segment_events, stream_seed, DatasetId, DatasetScale, DatasetSpec, Event, LabelSet,
+        ObjectClass, SyntheticVideo,
     };
     pub use sieve_filters::{
         calibrate_threshold, score_sequence, select_frames, selector_for, Budget, ChangeDetector,
         MseDetector, MseSelector, SiftDetector, SiftSelector, UniformSampler, UniformSelector,
     };
+    pub use sieve_fleet::{Fleet, FleetConfig, FleetReport, FramePacket, StreamConfig, StreamId};
     pub use sieve_nn::{
         best_split, reference_model, CnnDetector, ObjectDetector, OracleDetector, TierSpec,
         TrainConfig,

@@ -245,6 +245,48 @@ proptest! {
         }
     }
 
+    /// The on-line rate controller behind `Budget::TargetRate`: on any
+    /// stationary synthetic score stream (a background/spike mixture with
+    /// randomized scale, spike height and spike probability), the achieved
+    /// sampling rate converges into tolerance of the target with no
+    /// offline pass.
+    #[test]
+    fn adaptive_controller_converges_to_target_rate(
+        seed in 0u64..1000,
+        target_pct in 5u32..=40,
+        scale in 0.5f64..200.0,
+        spike in 2.0f64..50.0,
+        spike_p in 0.05f64..0.5,
+    ) {
+        let target = f64::from(target_pct) / 100.0;
+        let mut rc = sieve_core::RateController::new(target).expect("valid target");
+        let n: u64 = 6000;
+        let tail_from = n / 2;
+        let mut tail_kept = 0u64;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for i in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            // Stationary mixture: uniform background, occasional spikes.
+            let score = if u < spike_p { scale * spike * (1.0 + u) } else { scale * u };
+            let keep = rc.observe(score);
+            if keep && i >= tail_from {
+                tail_kept += 1;
+            }
+        }
+        let tail_rate = tail_kept as f64 / (n - tail_from) as f64;
+        prop_assert!(
+            (tail_rate - target).abs() <= 0.2 * target + 0.01,
+            "target {} achieved {} (seed {}, scale {}, spike {}x @ p={})",
+            target, tail_rate, seed, scale, spike, spike_p
+        );
+        // The cumulative rate (what a fleet reports) is in tolerance too.
+        prop_assert!(
+            (rc.achieved_rate() - target).abs() <= 0.2 * target + 0.01,
+            "cumulative rate {} strayed from {}", rc.achieved_rate(), target
+        );
+    }
+
     /// Event segmentation partitions any label sequence.
     #[test]
     fn segmentation_partitions(labels_bits in proptest::collection::vec(0u8..32, 0..200)) {
