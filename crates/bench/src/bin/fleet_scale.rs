@@ -9,19 +9,31 @@
 //! events and — for the adaptive streams — how far the on-line controller
 //! landed from its target sampling rate.
 //!
+//! Each fleet size is served repeatedly under the criterion shim and the
+//! median ± MAD serving time is serialized to `BENCH_fleet_scale.json`
+//! at the repository root, so CI (or a later session) can diff
+//! throughput against this run.
+//!
 //! Run with: `cargo run --release -p sieve-bench --bin fleet_scale`
 //! (`--scale small` for longer streams, `--shards N` for the pool size).
 
+use criterion::Criterion;
+use serde::Serialize;
 use sieve_bench::report::{pct, table};
 use sieve_bench::scale_from_args;
 use sieve_core::{FrameSelector, IFrameSelector};
 use sieve_datasets::{DatasetId, DatasetScale, DatasetSpec};
 use sieve_filters::{Budget, MseSelector, UniformSelector};
-use sieve_fleet::{Fleet, FleetConfig, FramePacket, Ingest, StreamConfig};
+use sieve_fleet::{Fleet, FleetConfig, FleetReport, FramePacket, Ingest, StreamConfig};
 use sieve_video::{EncodedVideo, EncoderConfig};
 
 const FLEET_SEED: u64 = 0x51EE_E00D;
 const TARGET_RATE: f64 = 0.1;
+const SAMPLES: usize = 3;
+
+/// Where the serialized results land: the workspace root, two levels up
+/// from this crate's manifest.
+const ARTIFACT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet_scale.json");
 
 fn shards_from_args() -> usize {
     let args: Vec<String> = std::env::args().collect();
@@ -72,6 +84,80 @@ fn cameras(n: usize, scale: DatasetScale, frames: usize) -> Vec<Camera> {
         .collect()
 }
 
+/// Serves every camera's frames through a fresh fleet and returns the
+/// shutdown report. Concurrent cameras push every frame, re-offering shed
+/// frames (with a short back-off) so the throughput number reflects full
+/// processing of the workload; each refusal still counts as one shed
+/// event — the back-pressure signal the table reports.
+fn serve(cams: &[Camera], shards: usize) -> FleetReport {
+    let fleet = Fleet::new(FleetConfig {
+        shards,
+        queue_capacity: 16,
+        global_frame_budget: 16 * shards.max(1) * 4,
+        max_streams: cams.len().max(16),
+    });
+    let mut joined = Vec::new();
+    for cam in cams {
+        let mut cfg = StreamConfig::new(
+            cam.name.clone(),
+            cam.encoded.resolution(),
+            cam.encoded.quality(),
+        );
+        if let Some(r) = cam.target_rate {
+            cfg = cfg.with_target_rate(r);
+        }
+        joined.push(fleet.join(cam.selector.as_ref(), cfg).expect("admission"));
+    }
+    std::thread::scope(|scope| {
+        for (cam, &id) in cams.iter().zip(&joined) {
+            let fleet = &fleet;
+            let encoded = &cam.encoded;
+            scope.spawn(move || {
+                for (i, ef) in encoded.frames().iter().enumerate() {
+                    loop {
+                        match fleet.push(id, FramePacket::of(i, ef)).expect("push") {
+                            Ingest::Queued => break,
+                            Ingest::Shed(_) => {
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                            }
+                        }
+                    }
+                }
+                fleet.leave(id).expect("leave");
+            });
+        }
+    });
+    fleet.shutdown()
+}
+
+/// One serialized operating point: a fleet size with its robust timing
+/// estimate and the counters of the final sampled run.
+#[derive(Debug, Serialize)]
+struct BenchPoint {
+    streams: usize,
+    samples: usize,
+    median_secs: f64,
+    mad_secs: f64,
+    /// Aggregate frames/second at the median serving time.
+    median_fps: f64,
+    processed: u64,
+    kept: u64,
+    shed: u64,
+    /// Worst relative |achieved - target| / target over adaptive streams
+    /// in the final run, if any stream ran the on-line controller.
+    worst_rate_err: Option<f64>,
+}
+
+/// The whole artifact written to `BENCH_fleet_scale.json`.
+#[derive(Debug, Serialize)]
+struct BenchArtifact {
+    benchmark: String,
+    scale: String,
+    shards: usize,
+    frames_per_stream: usize,
+    points: Vec<BenchPoint>,
+}
+
 fn main() {
     let scale = scale_from_args();
     let shards = shards_from_args();
@@ -82,58 +168,26 @@ fn main() {
     };
     println!(
         "Fleet scaling: heterogeneous streams on a {shards}-shard pool \
-         ({frames} frames/stream at scale = {scale:?})\n"
+         ({frames} frames/stream at scale = {scale:?}, median of {SAMPLES} \
+         serves per point)\n"
     );
 
+    let mut criterion = Criterion::default().sample_size(SAMPLES);
     let mut rows = Vec::new();
+    let mut points = Vec::new();
     for n in [1usize, 4, 8, 16] {
         // Generate and encode the cameras *before* starting the fleet:
-        // the wall clock below measures serving, not content synthesis.
+        // the timings below measure serving, not content synthesis.
         let cams = cameras(n, scale, frames);
-        let fleet = Fleet::new(FleetConfig {
-            shards,
-            queue_capacity: 16,
-            global_frame_budget: 16 * shards.max(1) * 4,
-            max_streams: n.max(16),
-        });
-        let mut joined = Vec::new();
-        for cam in &cams {
-            let mut cfg = StreamConfig::new(
-                cam.name.clone(),
-                cam.encoded.resolution(),
-                cam.encoded.quality(),
-            );
-            if let Some(r) = cam.target_rate {
-                cfg = cfg.with_target_rate(r);
-            }
-            joined.push(fleet.join(cam.selector.as_ref(), cfg).expect("admission"));
-        }
-        // Concurrent cameras: push every frame, re-offering shed frames
-        // (with a short back-off) so the throughput number reflects full
-        // processing of the workload; each refusal still counts as one
-        // shed event — the back-pressure signal the table reports.
-        std::thread::scope(|scope| {
-            for (cam, &id) in cams.iter().zip(&joined) {
-                let fleet = &fleet;
-                let encoded = &cam.encoded;
-                scope.spawn(move || {
-                    for (i, ef) in encoded.frames().iter().enumerate() {
-                        loop {
-                            match fleet.push(id, FramePacket::of(i, ef)).expect("push") {
-                                Ingest::Queued => break,
-                                Ingest::Shed(_) => {
-                                    std::thread::sleep(std::time::Duration::from_micros(200));
-                                }
-                            }
-                        }
-                    }
-                    fleet.leave(id).expect("leave");
-                });
-            }
-        });
-        let report = fleet.shutdown();
+        let mut last: Option<FleetReport> = None;
+        let est = criterion
+            .bench_estimate(&format!("fleet_scale/streams={n}"), |b| {
+                b.iter(|| last = Some(serve(&cams, shards)))
+            })
+            .expect("sampled at least once");
+        let report = last.expect("at least one serve completed");
         let agg = report.snapshot.aggregate;
-        let secs = report.wall.as_secs_f64();
+        let median_secs = est.median.as_secs_f64();
         let adaptive_err: Vec<f64> = report
             .snapshot
             .streams
@@ -144,8 +198,8 @@ fn main() {
         rows.push(vec![
             n.to_string(),
             agg.processed.to_string(),
-            format!("{secs:.2}"),
-            format!("{:.0}", agg.processed as f64 / secs),
+            format!("{median_secs:.2} ± {:.2}", est.mad.as_secs_f64()),
+            format!("{:.0}", agg.processed as f64 / median_secs),
             pct(agg.kept as f64 / agg.processed.max(1) as f64),
             agg.shed.to_string(),
             if adaptive_err.is_empty() {
@@ -154,14 +208,25 @@ fn main() {
                 pct(worst_err)
             },
         ]);
+        points.push(BenchPoint {
+            streams: n,
+            samples: est.samples,
+            median_secs,
+            mad_secs: est.mad.as_secs_f64(),
+            median_fps: agg.processed as f64 / median_secs,
+            processed: agg.processed,
+            kept: agg.kept,
+            shed: agg.shed,
+            worst_rate_err: (!adaptive_err.is_empty()).then_some(worst_err),
+        });
     }
     println!(
-        "{}",
+        "\n{}",
         table(
             &[
                 "streams",
                 "frames",
-                "wall (s)",
+                "median wall (s)",
                 "agg fps",
                 "kept",
                 "refusals (retried)",
@@ -176,4 +241,15 @@ fn main() {
          doing its job. Adaptive streams target {TARGET_RATE} sampling \
          with no offline calibration.)"
     );
+
+    let artifact = BenchArtifact {
+        benchmark: "fleet_scale".to_string(),
+        scale: format!("{scale:?}"),
+        shards,
+        frames_per_stream: frames,
+        points,
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
+    std::fs::write(ARTIFACT_PATH, json + "\n").expect("artifact written");
+    println!("\nwrote BENCH_fleet_scale.json");
 }

@@ -1,0 +1,9 @@
+//! Model-check invariant suite for the SiEVE runtime. The tests live in
+//! `tests/`; run them with:
+//!
+//! ```text
+//! cargo test -p sieve-check-tests --features model-check
+//! ```
+//!
+//! Without `--features model-check` the suite compiles against the
+//! uninstrumented facade and the model tests are skipped at compile time.

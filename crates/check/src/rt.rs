@@ -1,0 +1,555 @@
+//! The per-execution cooperative scheduler.
+//!
+//! One model *execution* runs the test body once under a fully serialized
+//! schedule: every managed thread parks on a shared condition variable and
+//! only the thread the scheduler marked *active* makes progress. Each
+//! instrumented operation (lock, unlock, condvar wait/notify, atomic op,
+//! spawn, join, yield) is a *decision point* where the scheduler picks the
+//! next thread to run — following a replay prefix chosen by the explorer,
+//! then a deterministic default (or a seeded random pick). The sequence of
+//! decisions is recorded so the explorer can backtrack.
+//!
+//! The scheduler's own coordination deliberately uses raw `std::sync`
+//! primitives: this crate *is* the instrumentation layer.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Thread ids are dense indices assigned in spawn order (root is 0), which
+/// makes runnable sets — and therefore replay — deterministic.
+pub(crate) type Tid = usize;
+
+/// Why a managed thread is not currently runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Blocked {
+    /// Waiting to acquire the mutex with this id.
+    Mutex(usize),
+    /// Waiting on the condvar with this id.
+    Condvar(usize),
+    /// Waiting for this thread to finish.
+    Join(Tid),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ThreadState {
+    Runnable,
+    Blocked(Blocked),
+    Finished,
+}
+
+/// One recorded scheduling decision.
+#[derive(Debug, Clone)]
+pub struct Choice {
+    /// Threads that were runnable at this point (ascending ids).
+    pub runnable: Vec<Tid>,
+    /// The thread the scheduler picked.
+    pub chosen: Tid,
+    /// The thread that was running when the decision was made.
+    pub was_running: Tid,
+    /// Whether `was_running` was itself still runnable (picking another
+    /// thread then counts as a preemption).
+    pub was_running_runnable: bool,
+    /// Preemptions consumed on the path *before* this decision.
+    pub preemptions_before: usize,
+}
+
+/// A schedule violation discovered during one execution: an assertion or
+/// panic in the model body, a deadlock, a livelock (step-budget blowout),
+/// or a non-deterministic body that broke replay.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Human-readable description (panic payload, deadlock, livelock).
+    pub message: String,
+    /// The thread-id schedule that led to the violation.
+    pub schedule: Vec<Tid>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (schedule: {:?})",
+            self.message,
+            &self.schedule[..self.schedule.len().min(64)]
+        )
+    }
+}
+
+/// How the scheduler picks beyond the replay prefix.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Tail {
+    /// Deterministic default: stay on the current thread when runnable,
+    /// else the smallest runnable id. Adds no preemptions.
+    Default,
+    /// Seeded uniform pick among runnable threads, respecting the
+    /// preemption cap.
+    Random(u64),
+}
+
+#[derive(Debug, Default)]
+struct MutexModel {
+    held_by: Option<Tid>,
+}
+
+#[derive(Debug)]
+struct SchedState {
+    threads: Vec<ThreadState>,
+    active: Tid,
+    mutexes: HashMap<usize, MutexModel>,
+    /// FIFO waiters per condvar id.
+    cv_waiters: HashMap<usize, Vec<Tid>>,
+    steps: usize,
+    preemptions: usize,
+    choices: Vec<Choice>,
+    violation: Option<Violation>,
+    abort: bool,
+}
+
+impl SchedState {
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| *t == ThreadState::Finished)
+    }
+}
+
+/// Sentinel panic payload used to unwind managed threads when an execution
+/// aborts (violation found elsewhere); not itself a failure.
+pub(crate) struct AbortToken;
+
+/// Shared state of one model execution.
+#[derive(Debug)]
+pub(crate) struct Execution {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+    prefix: Vec<Tid>,
+    tail: Tail,
+    max_steps: usize,
+    max_preemptions: usize,
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Option<(Arc<Execution>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// The execution context and managed thread id of the current thread, if it
+/// is a managed model thread. Instrumented primitives fall back to plain
+/// `std` behaviour when this is `None`, so code routed through the facade
+/// still runs normally outside a model run.
+pub(crate) fn current() -> Option<(Arc<Execution>, Tid)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_context(ctx: Option<(Arc<Execution>, Tid)>) {
+    CONTEXT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// SplitMix64: the deterministic random tail.
+fn splitmix(seed: u64, k: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Execution {
+    pub(crate) fn new(
+        prefix: Vec<Tid>,
+        tail: Tail,
+        max_steps: usize,
+        max_preemptions: usize,
+    ) -> Self {
+        Self {
+            state: StdMutex::new(SchedState {
+                threads: vec![ThreadState::Runnable],
+                active: 0,
+                mutexes: HashMap::new(),
+                cv_waiters: HashMap::new(),
+                steps: 0,
+                preemptions: 0,
+                choices: Vec::new(),
+                violation: None,
+                abort: false,
+            }),
+            cv: StdCondvar::new(),
+            prefix,
+            tail,
+            max_steps,
+            max_preemptions,
+        }
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn fail(&self, st: &mut SchedState, message: String) {
+        if st.violation.is_none() {
+            st.violation = Some(Violation {
+                message,
+                schedule: st.choices.iter().map(|c| c.chosen).collect(),
+            });
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    fn unwind(&self, st: StdMutexGuard<'_, SchedState>) -> ! {
+        drop(st);
+        panic::resume_unwind(Box::new(AbortToken));
+    }
+
+    /// Picks the next active thread; called with the state locked, by the
+    /// thread that is currently active (about to pause, block or finish).
+    fn pick_next(&self, st: &mut SchedState) {
+        if st.abort {
+            return;
+        }
+        let runnable: Vec<Tid> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == ThreadState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if !st.all_finished() {
+                let stuck: Vec<(Tid, ThreadState)> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !matches!(t, ThreadState::Finished))
+                    .map(|(i, t)| (i, *t))
+                    .collect();
+                self.fail(
+                    st,
+                    format!("deadlock: no runnable thread; stuck: {stuck:?}"),
+                );
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let k = st.choices.len();
+        let was_running = st.active;
+        let was_running_runnable = runnable.contains(&was_running);
+        let chosen = if k < self.prefix.len() {
+            let c = self.prefix[k];
+            if !runnable.contains(&c) {
+                self.fail(
+                    st,
+                    format!(
+                        "non-deterministic replay: prefix step {k} wants thread {c}, \
+                         runnable = {runnable:?} — model bodies must be deterministic"
+                    ),
+                );
+                return;
+            }
+            c
+        } else {
+            match self.tail {
+                Tail::Default => {
+                    if was_running_runnable {
+                        was_running
+                    } else {
+                        runnable[0]
+                    }
+                }
+                Tail::Random(seed) => {
+                    let cap_reached = st.preemptions >= self.max_preemptions;
+                    if cap_reached && was_running_runnable {
+                        was_running
+                    } else {
+                        runnable[(splitmix(seed, k as u64) % runnable.len() as u64) as usize]
+                    }
+                }
+            }
+        };
+        let preempts = was_running_runnable && chosen != was_running;
+        if preempts {
+            st.preemptions += 1;
+        }
+        st.choices.push(Choice {
+            runnable,
+            chosen,
+            was_running,
+            was_running_runnable,
+            preemptions_before: st.preemptions - usize::from(preempts),
+        });
+        st.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Parks until this thread is active again; unwinds on abort.
+    fn wait_active<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, SchedState>,
+        me: Tid,
+    ) -> StdMutexGuard<'a, SchedState> {
+        loop {
+            if st.abort {
+                self.unwind(st);
+            }
+            if st.active == me && st.threads[me] == ThreadState::Runnable {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn step(&self, st: &mut SchedState) {
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            self.fail(
+                st,
+                format!(
+                    "step budget ({}) exceeded — livelock or an unbounded loop in the model body",
+                    self.max_steps
+                ),
+            );
+        }
+    }
+
+    /// A plain decision point: the running thread pauses, the scheduler
+    /// picks who continues (possibly the same thread).
+    pub(crate) fn yield_op(&self, me: Tid) {
+        let mut st = self.lock_state();
+        if st.abort {
+            self.unwind(st);
+        }
+        self.step(&mut st);
+        self.pick_next(&mut st);
+        if st.abort {
+            self.unwind(st);
+        }
+        let _st = self.wait_active(st, me);
+    }
+
+    // --- mutexes ---------------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, me: Tid, id: usize) {
+        self.yield_op(me);
+        let mut st = self.lock_state();
+        loop {
+            let m = st.mutexes.entry(id).or_default();
+            match m.held_by {
+                None => {
+                    m.held_by = Some(me);
+                    return;
+                }
+                Some(holder) if holder == me => {
+                    self.fail(
+                        &mut st,
+                        format!("thread {me} re-locked a mutex it already holds"),
+                    );
+                    self.unwind(st);
+                }
+                Some(_) => {
+                    st.threads[me] = ThreadState::Blocked(Blocked::Mutex(id));
+                    self.pick_next(&mut st);
+                    st = self.wait_active(st, me);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn mutex_try_lock(&self, me: Tid, id: usize) -> bool {
+        self.yield_op(me);
+        let mut st = self.lock_state();
+        let m = st.mutexes.entry(id).or_default();
+        if m.held_by.is_none() {
+            m.held_by = Some(me);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, me: Tid, id: usize) {
+        let mut st = self.lock_state();
+        if let Some(m) = st.mutexes.get_mut(&id) {
+            m.held_by = None;
+        }
+        self.wake_mutex_waiters(&mut st, id);
+        if st.abort {
+            // Unwinding already: release without rescheduling so guard
+            // drops along the unwind path cannot hang.
+            self.cv.notify_all();
+            return;
+        }
+        self.step(&mut st);
+        self.pick_next(&mut st);
+        let _st = self.wait_active(st, me);
+    }
+
+    fn wake_mutex_waiters(&self, st: &mut SchedState, id: usize) {
+        for t in st.threads.iter_mut() {
+            if *t == ThreadState::Blocked(Blocked::Mutex(id)) {
+                *t = ThreadState::Runnable;
+            }
+        }
+    }
+
+    // --- condvars --------------------------------------------------------
+
+    /// Atomically releases `mutex_id` and waits on `cv_id`; on return the
+    /// mutex has been reacquired. No spurious wakeups are modelled;
+    /// `notify_one` wakes waiters in FIFO order.
+    pub(crate) fn condvar_wait(&self, me: Tid, cv_id: usize, mutex_id: usize) {
+        let mut st = self.lock_state();
+        if st.abort {
+            self.unwind(st);
+        }
+        self.step(&mut st);
+        if let Some(m) = st.mutexes.get_mut(&mutex_id) {
+            m.held_by = None;
+        }
+        self.wake_mutex_waiters(&mut st, mutex_id);
+        st.cv_waiters.entry(cv_id).or_default().push(me);
+        st.threads[me] = ThreadState::Blocked(Blocked::Condvar(cv_id));
+        self.pick_next(&mut st);
+        st = self.wait_active(st, me);
+        // Notified: reacquire the mutex, racing any other woken waiter.
+        loop {
+            let m = st.mutexes.entry(mutex_id).or_default();
+            match m.held_by {
+                None => {
+                    m.held_by = Some(me);
+                    return;
+                }
+                Some(_) => {
+                    st.threads[me] = ThreadState::Blocked(Blocked::Mutex(mutex_id));
+                    self.pick_next(&mut st);
+                    st = self.wait_active(st, me);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn condvar_notify(&self, me: Tid, cv_id: usize, all: bool) {
+        let mut st = self.lock_state();
+        if st.abort {
+            self.unwind(st);
+        }
+        self.step(&mut st);
+        let waiters = st.cv_waiters.entry(cv_id).or_default();
+        let woken: Vec<Tid> = if all {
+            std::mem::take(waiters)
+        } else if waiters.is_empty() {
+            Vec::new()
+        } else {
+            vec![waiters.remove(0)]
+        };
+        for t in woken {
+            st.threads[t] = ThreadState::Runnable;
+        }
+        self.pick_next(&mut st);
+        let _st = self.wait_active(st, me);
+    }
+
+    // --- threads ---------------------------------------------------------
+
+    /// Registers a new managed thread and returns its id. Does *not*
+    /// reschedule: the caller must spawn the OS thread first and then hit a
+    /// decision point, so the scheduler never hands control to a thread
+    /// whose OS counterpart does not exist yet.
+    pub(crate) fn register_thread(&self) -> Tid {
+        let mut st = self.lock_state();
+        if st.abort {
+            self.unwind(st);
+        }
+        let tid = st.threads.len();
+        st.threads.push(ThreadState::Runnable);
+        tid
+    }
+
+    /// First wait of a freshly spawned managed thread: parks until chosen.
+    pub(crate) fn first_schedule(&self, me: Tid) {
+        let st = self.lock_state();
+        let st = self.wait_active(st, me);
+        drop(st);
+    }
+
+    pub(crate) fn thread_finished(&self, me: Tid, panic_msg: Option<String>) {
+        let mut st = self.lock_state();
+        if let Some(msg) = panic_msg {
+            self.fail(&mut st, msg);
+        }
+        st.threads[me] = ThreadState::Finished;
+        for t in st.threads.iter_mut() {
+            if *t == ThreadState::Blocked(Blocked::Join(me)) {
+                *t = ThreadState::Runnable;
+            }
+        }
+        if !st.abort && !st.all_finished() {
+            self.pick_next(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn join_thread(&self, me: Tid, target: Tid) {
+        self.yield_op(me);
+        let mut st = self.lock_state();
+        while st.threads[target] != ThreadState::Finished {
+            st.threads[me] = ThreadState::Blocked(Blocked::Join(target));
+            self.pick_next(&mut st);
+            st = self.wait_active(st, me);
+        }
+    }
+
+    /// Blocks the calling explorer thread until every managed thread has
+    /// finished (normally or by abort-unwind).
+    pub(crate) fn wait_done(&self) {
+        let mut st = self.lock_state();
+        while !st.all_finished() {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub(crate) fn outcome(&self) -> (Vec<Choice>, Option<Violation>) {
+        let st = self.lock_state();
+        (st.choices.clone(), st.violation.clone())
+    }
+}
+
+/// Runs `f` once as the root (thread 0) of a fresh execution; returns the
+/// recorded choices and any violation.
+pub(crate) fn run_once<F>(
+    f: &F,
+    prefix: Vec<Tid>,
+    tail: Tail,
+    max_steps: usize,
+    max_preemptions: usize,
+) -> (Vec<Choice>, Option<Violation>)
+where
+    F: Fn() + Send + Sync,
+{
+    let ctx = Arc::new(Execution::new(prefix, tail, max_steps, max_preemptions));
+    set_context(Some((ctx.clone(), 0)));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    let panic_msg = match result {
+        Ok(()) => None,
+        Err(payload) => {
+            if payload.downcast_ref::<AbortToken>().is_some() {
+                None
+            } else {
+                Some(panic_payload_message(payload.as_ref()))
+            }
+        }
+    };
+    ctx.thread_finished(0, panic_msg);
+    set_context(None);
+    ctx.wait_done();
+    ctx.outcome()
+}
+
+pub(crate) fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}

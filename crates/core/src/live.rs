@@ -19,8 +19,8 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sieve_nn::ObjectDetector;
+use sieve_simnet::sync::Mutex;
 use sieve_simnet::{run_live, LiveItem, LiveReport, LiveStage, StageResult};
 use sieve_video::{Decoder, EncodedVideo, FrameType, Resolution};
 

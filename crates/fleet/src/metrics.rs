@@ -8,9 +8,8 @@
 //! it saw): conflating them would make an overloaded edge look like a
 //! well-filtering one.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use sieve_simnet::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use sieve_simnet::sync::Mutex;
 
 use crate::registry::StreamId;
 

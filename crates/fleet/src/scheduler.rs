@@ -11,14 +11,14 @@
 //! per-stream decode state is one [`EdgeSession`] (a stateful decoder plus
 //! at most one previous frame — never a whole-stream buffer).
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
-use parking_lot::{Mutex, RwLock};
 use sieve_core::{EdgeOutcome, EdgeSession, FrameSelector};
+use sieve_simnet::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use sieve_simnet::sync::thread::{self, JoinHandle};
+use sieve_simnet::sync::{Mutex, RwLock};
 use sieve_simnet::{Popped, PushOutcome, ShardQueue};
 use sieve_video::{EncodedFrame, Frame, FrameType};
 
@@ -117,9 +117,9 @@ struct StreamEntry {
 pub struct Fleet {
     config: FleetConfig,
     queues: Vec<Arc<ShardQueue<FramePacket>>>,
-    states: Vec<Arc<Mutex<HashMap<u64, StreamWorker>>>>,
+    states: Vec<Arc<Mutex<BTreeMap<u64, StreamWorker>>>>,
     workers: Vec<JoinHandle<()>>,
-    registry: RwLock<HashMap<u64, StreamEntry>>,
+    registry: RwLock<BTreeMap<u64, StreamEntry>>,
     next_id: AtomicU64,
     inflight: Arc<AtomicUsize>,
     started: Instant,
@@ -164,10 +164,10 @@ impl Fleet {
         let mut workers = Vec::with_capacity(config.shards);
         for _ in 0..config.shards {
             let queue = Arc::new(ShardQueue::<FramePacket>::new(config.queue_capacity));
-            let state: Arc<Mutex<HashMap<u64, StreamWorker>>> =
-                Arc::new(Mutex::new(HashMap::new()));
+            let state: Arc<Mutex<BTreeMap<u64, StreamWorker>>> =
+                Arc::new(Mutex::new(BTreeMap::new()));
             let (q, st, infl) = (queue.clone(), state.clone(), inflight.clone());
-            workers.push(std::thread::spawn(move || shard_loop(&q, &st, &infl)));
+            workers.push(thread::spawn(move || shard_loop(&q, &st, &infl)));
             queues.push(queue);
             states.push(state);
         }
@@ -176,7 +176,7 @@ impl Fleet {
             queues,
             states,
             workers,
-            registry: RwLock::new(HashMap::new()),
+            registry: RwLock::new(BTreeMap::new()),
             next_id: AtomicU64::new(0),
             inflight,
             started: Instant::now(),
@@ -377,6 +377,7 @@ impl Fleet {
             queue.shutdown();
         }
         for worker in std::mem::take(&mut self.workers) {
+            // lint:allow(no-unwrap): re-raising a shard worker panic is the documented contract of shutdown()
             worker.join().expect("shard worker panicked");
         }
         let snapshot = self.snapshot();
@@ -407,7 +408,7 @@ impl Drop for Fleet {
 /// duration of the (slow) decode so admission never waits on codec work.
 fn shard_loop(
     queue: &ShardQueue<FramePacket>,
-    states: &Mutex<HashMap<u64, StreamWorker>>,
+    states: &Mutex<BTreeMap<u64, StreamWorker>>,
     inflight: &AtomicUsize,
 ) {
     while let Some(popped) = queue.pop() {

@@ -6,6 +6,8 @@
 //! replays those costs through the tandem-queue simulator. This keeps the
 //! relative magnitudes — decode vs seek vs NN inference — honest.
 
+// lint:allow-file(no-wall-clock): calibration's whole job is measuring real wall-clock costs
+
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -27,7 +29,7 @@ pub fn measure_secs<F: FnMut()>(iters: usize, mut op: F) -> f64 {
             t0.elapsed().as_secs_f64()
         })
         .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
 

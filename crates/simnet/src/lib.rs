@@ -15,13 +15,16 @@
 //!   non-blocking shed, round-robin draining, runtime lane join/leave
 //!   (the scheduler substrate of `sieve-fleet`);
 //! * [`calibrate`] — measuring real per-operation costs to feed the
-//!   simulators.
+//!   simulators;
+//! * [`sync`] — the workspace synchronization facade: real primitives
+//!   normally, `sieve-check`'s instrumented ones under `model-check`.
 
 pub mod calibrate;
 pub mod des;
 pub mod live;
 pub mod pipeline;
 pub mod shard;
+pub mod sync;
 pub mod time;
 pub mod topology;
 

@@ -13,12 +13,14 @@
 //! [`LiveReport::failed`]), so a deployment report can tell "the edge
 //! filtered 97% of frames" apart from "the edge choked on 3 frames".
 
-use std::thread;
+// lint:allow-file(no-wall-clock): the live runtime reports real elapsed time by design
+
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
-use std::sync::Arc;
+
+use crate::sync::{thread, Mutex};
 
 /// An item flowing through the live pipeline.
 #[derive(Debug, Clone)]
@@ -149,6 +151,7 @@ pub fn run_live(stages: Vec<LiveStage>, items: Vec<LiveItem>, capacity: usize) -
     let t0 = Instant::now();
     let feeder = thread::spawn(move || {
         for item in items {
+            // lint:allow(no-unwrap): the first stage outlives the feeder, so a hangup is a runtime bug worth a loud stop
             first_tx.send(item).expect("pipeline hung up");
         }
         // Dropping first_tx closes the chain.
@@ -160,8 +163,10 @@ pub fn run_live(stages: Vec<LiveStage>, items: Vec<LiveItem>, capacity: usize) -
         delivered_bytes += item.payload.len() as u64;
     }
     let wall = t0.elapsed();
+    // lint:allow(no-unwrap): re-raising feeder panics is run_live's documented panic contract
     feeder.join().expect("feeder panicked");
     for h in handles {
+        // lint:allow(no-unwrap): re-raising stage panics is run_live's documented panic contract
         h.join().expect("stage panicked");
     }
     let dropped_count = *dropped.lock();
@@ -190,7 +195,7 @@ fn stage_loop(
             StageResult::Emit(out) => {
                 if let Some(bps) = stage.throttle_bps {
                     let secs = out.payload.len() as f64 * 8.0 / bps;
-                    thread::sleep(Duration::from_secs_f64(secs));
+                    std::thread::sleep(Duration::from_secs_f64(secs));
                 }
                 *counter.lock() += 1;
                 if tx.send(out).is_err() {

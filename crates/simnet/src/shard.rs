@@ -16,7 +16,8 @@
 //! out of one `ShardQueue` per worker.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+
+use crate::sync::{Condvar, Mutex};
 
 /// Outcome of a non-blocking push.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,7 +102,7 @@ impl<T> ShardQueue<T> {
     /// Opens lane `key`. Returns `false` if the lane already exists or the
     /// queue is shut down.
     pub fn open_lane(&self, key: u64) -> bool {
-        let mut s = self.state.lock().expect("shard queue poisoned");
+        let mut s = self.state.lock();
         if s.shutdown || s.lanes.iter().any(|(k, _)| *k == key) {
             return false;
         }
@@ -119,7 +120,7 @@ impl<T> ShardQueue<T> {
     /// drains, the worker receives [`Popped::LaneFinished`] and the lane is
     /// gone. Returns `false` for an unknown lane.
     pub fn close_lane(&self, key: u64) -> bool {
-        let mut s = self.state.lock().expect("shard queue poisoned");
+        let mut s = self.state.lock();
         let Some(lane) = s.lane_mut(key) else {
             return false;
         };
@@ -131,7 +132,7 @@ impl<T> ShardQueue<T> {
 
     /// Pushes without blocking; see [`PushOutcome`] for the cases.
     pub fn try_push(&self, key: u64, item: T) -> PushOutcome {
-        let mut s = self.state.lock().expect("shard queue poisoned");
+        let mut s = self.state.lock();
         let capacity = self.lane_capacity;
         let Some(lane) = s.lane_mut(key) else {
             return PushOutcome::NoSuchLane;
@@ -152,7 +153,7 @@ impl<T> ShardQueue<T> {
     /// down *and* every lane has drained and finished — the worker's signal
     /// to exit.
     pub fn pop(&self) -> Option<Popped<T>> {
-        let mut s = self.state.lock().expect("shard queue poisoned");
+        let mut s = self.state.lock();
         loop {
             // Scan one full rotation starting at the cursor.
             let n = s.lanes.len();
@@ -165,13 +166,30 @@ impl<T> ShardQueue<T> {
                     return Some(Popped::Item(key, item));
                 }
                 if lane.closed {
-                    s.lanes.remove(i);
-                    if !s.lanes.is_empty() {
-                        s.cursor = i % s.lanes.len();
-                    } else {
-                        s.cursor = 0;
+                    // SEEDED BUG (crates/check-tests mutation suite): drop
+                    // the lock between observing the drained closed lane
+                    // and removing it. Two concurrent poppers can then both
+                    // observe the lane and both deliver LaneFinished(key) —
+                    // the race the model checker must catch.
+                    #[cfg(sieve_check_seeded_bug)]
+                    {
+                        drop(s);
+                        s = self.state.lock();
+                        s.lanes.retain(|(k, _)| *k != key);
+                        let n = s.lanes.len();
+                        s.cursor = if n == 0 { 0 } else { s.cursor % n };
+                        return Some(Popped::LaneFinished(key));
                     }
-                    return Some(Popped::LaneFinished(key));
+                    #[cfg(not(sieve_check_seeded_bug))]
+                    {
+                        s.lanes.remove(i);
+                        if !s.lanes.is_empty() {
+                            s.cursor = i % s.lanes.len();
+                        } else {
+                            s.cursor = 0;
+                        }
+                        return Some(Popped::LaneFinished(key));
+                    }
                 }
             }
             // Past the scan there are no items and no closed lanes left;
@@ -180,7 +198,7 @@ impl<T> ShardQueue<T> {
             if s.shutdown && s.lanes.is_empty() {
                 return None;
             }
-            s = self.available.wait(s).expect("shard queue poisoned");
+            s = self.available.wait(s);
         }
     }
 
@@ -188,7 +206,7 @@ impl<T> ShardQueue<T> {
     /// queued items are still delivered, then every remaining lane reports
     /// [`Popped::LaneFinished`], then `pop` returns `None`.
     pub fn shutdown(&self) {
-        let mut s = self.state.lock().expect("shard queue poisoned");
+        let mut s = self.state.lock();
         s.shutdown = true;
         for (_, lane) in &mut s.lanes {
             lane.closed = true;
@@ -198,13 +216,13 @@ impl<T> ShardQueue<T> {
 
     /// Queued items currently in lane `key` (`None` for unknown lanes).
     pub fn depth(&self, key: u64) -> Option<usize> {
-        let mut s = self.state.lock().expect("shard queue poisoned");
+        let mut s = self.state.lock();
         s.lane_mut(key).map(|l| l.queue.len())
     }
 
     /// Queued items across all lanes.
     pub fn total_depth(&self) -> usize {
-        let s = self.state.lock().expect("shard queue poisoned");
+        let s = self.state.lock();
         s.lanes.iter().map(|(_, l)| l.queue.len()).sum()
     }
 }

@@ -1,0 +1,419 @@
+//! A minimal Rust source scanner for the lint pass.
+//!
+//! Produces a *cleaned* copy of a source file — comments, string literals
+//! and char literals blanked to spaces, newlines preserved — so the rules
+//! can match token text without tripping on prose, plus the `lint:allow`
+//! markers harvested from the comments and the line ranges covered by
+//! `#[cfg(test)]` items.
+
+/// One `// lint:allow(rule): reason` marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-indexed line the marker comment sits on.
+    pub line: usize,
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// Whether this is a `lint:allow-file` (whole-file) marker.
+    pub file_wide: bool,
+}
+
+/// Scan result for one file.
+#[derive(Debug)]
+pub struct Scanned {
+    /// Source with comments/strings/chars blanked; newlines preserved, so
+    /// byte offsets and line numbers match the original.
+    pub cleaned: String,
+    /// Harvested allow markers.
+    pub allows: Vec<Allow>,
+    /// Malformed markers (missing the `: reason` justification).
+    pub marker_errors: Vec<(usize, String)>,
+    /// 1-indexed inclusive line ranges covered by `#[cfg(test)]` items.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl Scanned {
+    /// Whether `line` is inside a `#[cfg(test)]` item.
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Whether `rule` is allowed at `line` (file-wide marker, or a line
+    /// marker on the same or the immediately preceding line).
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.file_wide || a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Scans `source`, blanking non-code text and harvesting markers.
+pub fn scan(source: &str) -> Scanned {
+    let bytes = source.as_bytes();
+    let mut cleaned = String::with_capacity(source.len());
+    let mut allows = Vec::new();
+    let mut marker_errors = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes `c` or a blank of equal width; newlines always survive.
+    fn blank(cleaned: &mut String, c: char) {
+        if c == '\n' {
+            cleaned.push('\n');
+        } else {
+            for _ in 0..c.len_utf8() {
+                cleaned.push(' ');
+            }
+        }
+    }
+
+    while i < bytes.len() {
+        let rest = &source[i..];
+        if rest.starts_with("//") {
+            // Line comment (incl. doc comments): harvest markers, blank it.
+            let end = rest.find('\n').map_or(source.len(), |p| i + p);
+            let text = &source[i..end];
+            harvest_marker(text, line, &mut allows, &mut marker_errors);
+            for c in text.chars() {
+                blank(&mut cleaned, c);
+            }
+            i = end;
+        } else if rest.starts_with("/*") {
+            // Block comment, possibly nested.
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            cleaned.push_str("  ");
+            while j < bytes.len() && depth > 0 {
+                let r = &source[j..];
+                if r.starts_with("/*") {
+                    depth += 1;
+                    cleaned.push_str("  ");
+                    j += 2;
+                } else if r.starts_with("*/") {
+                    depth -= 1;
+                    cleaned.push_str("  ");
+                    j += 2;
+                } else {
+                    let c = r.chars().next().unwrap_or(' ');
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    blank(&mut cleaned, c);
+                    j += c.len_utf8();
+                }
+            }
+            i = j;
+        } else if rest.starts_with("r\"")
+            || rest.starts_with("r#")
+            || rest.starts_with("br\"")
+            || rest.starts_with("br#")
+        {
+            // Raw string literal: r"..", r#".."#, br".." etc.
+            let prefix = if rest.starts_with("br") { 2 } else { 1 };
+            let mut hashes = 0usize;
+            let mut j = i + prefix;
+            while bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if bytes.get(j) != Some(&b'"') {
+                // `r#foo` raw identifier, not a raw string: emit as code.
+                let c = rest.chars().next().unwrap_or(' ');
+                cleaned.push(c);
+                i += c.len_utf8();
+                continue;
+            }
+            j += 1;
+            let closer = format!("\"{}", "#".repeat(hashes));
+            let end = source[j..]
+                .find(&closer)
+                .map_or(source.len(), |p| j + p + closer.len());
+            for c in source[i..end].chars() {
+                if c == '\n' {
+                    line += 1;
+                }
+                blank(&mut cleaned, c);
+            }
+            i = end;
+        } else if rest.starts_with('"') {
+            // String literal with escapes.
+            let mut j = i + 1;
+            blank(&mut cleaned, '"');
+            while j < bytes.len() {
+                let c = source[j..].chars().next().unwrap_or(' ');
+                if c == '\\' {
+                    blank(&mut cleaned, '\\');
+                    j += 1;
+                    if let Some(e) = source[j..].chars().next() {
+                        if e == '\n' {
+                            line += 1;
+                        }
+                        blank(&mut cleaned, e);
+                        j += e.len_utf8();
+                    }
+                    continue;
+                }
+                if c == '\n' {
+                    line += 1;
+                }
+                blank(&mut cleaned, c);
+                j += c.len_utf8();
+                if c == '"' {
+                    break;
+                }
+            }
+            i = j;
+        } else if rest.starts_with('\'') {
+            // Char literal or lifetime. `'a'` / `'\n'` are literals;
+            // `'a` followed by non-quote is a lifetime (emit as code).
+            let mut chars = rest.chars();
+            chars.next();
+            let c1 = chars.next().unwrap_or(' ');
+            let is_literal = if c1 == '\\' {
+                true
+            } else {
+                // 'x' (any single char then a quote) is a literal.
+                chars.next() == Some('\'')
+            };
+            if is_literal {
+                let mut j = i + 1;
+                blank(&mut cleaned, '\'');
+                let mut prev_backslash = false;
+                while j < bytes.len() {
+                    let c = source[j..].chars().next().unwrap_or(' ');
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    blank(&mut cleaned, c);
+                    j += c.len_utf8();
+                    if c == '\'' && !prev_backslash {
+                        break;
+                    }
+                    prev_backslash = c == '\\' && !prev_backslash;
+                }
+                i = j;
+            } else {
+                cleaned.push('\'');
+                i += 1;
+            }
+        } else {
+            let c = rest.chars().next().unwrap_or(' ');
+            if c == '\n' {
+                line += 1;
+            }
+            cleaned.push(c);
+            i += c.len_utf8();
+        }
+    }
+
+    let test_ranges = find_test_ranges(&cleaned);
+    Scanned {
+        cleaned,
+        allows,
+        marker_errors,
+        test_ranges,
+    }
+}
+
+/// Parses a `lint:allow(rule): reason` marker out of one comment's text.
+fn harvest_marker(
+    comment: &str,
+    line: usize,
+    allows: &mut Vec<Allow>,
+    errors: &mut Vec<(usize, String)>,
+) {
+    for (needle, file_wide) in [("lint:allow-file(", true), ("lint:allow(", false)] {
+        let Some(at) = comment.find(needle) else {
+            continue;
+        };
+        let after = &comment[at + needle.len()..];
+        let Some(close) = after.find(')') else {
+            errors.push((line, "unclosed lint:allow marker".to_string()));
+            return;
+        };
+        let rule = after[..close].trim().to_string();
+        let tail = after[close + 1..].trim_start();
+        let reason = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            errors.push((
+                line,
+                format!("lint:allow({rule}) needs a justification: `// lint:allow({rule}): why`"),
+            ));
+            return;
+        }
+        allows.push(Allow {
+            line,
+            rule,
+            file_wide,
+        });
+        return; // allow-file matched first would otherwise re-match allow(
+    }
+}
+
+/// Finds the line ranges of `#[cfg(test)]` items in cleaned source: from
+/// the attribute to the matching close brace of the next block.
+fn find_test_ranges(cleaned: &str) -> Vec<(usize, usize)> {
+    let compact: Vec<(usize, char)> = cleaned.char_indices().collect();
+    let mut ranges = Vec::new();
+    let needle: &[&str] = &["#", "[", "cfg", "(", "test", ")", "]"];
+    let mut idx = 0;
+    while idx < compact.len() {
+        // Anchor on the `#` itself, or the match (which skips leading
+        // whitespace) would date the range from earlier blank lines.
+        if compact[idx].1 != '#' {
+            idx += 1;
+            continue;
+        }
+        if let Some(after) = match_tokens(cleaned, &compact, idx, needle) {
+            let start_line = line_of(cleaned, compact[idx].0);
+            // Scan to the opening brace of the annotated item, then match.
+            let mut depth = 0usize;
+            let mut j = after;
+            let mut end_line = start_line;
+            let mut opened = false;
+            while j < compact.len() {
+                let (off, c) = compact[j];
+                if c == '{' {
+                    depth += 1;
+                    opened = true;
+                } else if c == '}' {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        end_line = line_of(cleaned, off);
+                        break;
+                    }
+                } else if c == ';' && !opened {
+                    // `#[cfg(test)] mod tests;` — out-of-line module.
+                    end_line = line_of(cleaned, off);
+                    break;
+                }
+                j += 1;
+            }
+            if opened || end_line > start_line {
+                ranges.push((start_line, end_line));
+                idx = j.max(after);
+                continue;
+            }
+        }
+        idx += 1;
+    }
+    ranges
+}
+
+/// Matches a sequence of tokens (identifiers or single puncts) starting at
+/// `compact[idx]`, skipping whitespace; returns the index after the match.
+fn match_tokens(
+    cleaned: &str,
+    compact: &[(usize, char)],
+    mut idx: usize,
+    tokens: &[&str],
+) -> Option<usize> {
+    for tok in tokens {
+        while idx < compact.len() && compact[idx].1.is_whitespace() {
+            idx += 1;
+        }
+        if idx >= compact.len() {
+            return None;
+        }
+        let (off, c) = compact[idx];
+        if tok.chars().all(|t| t.is_alphanumeric() || t == '_') {
+            if !cleaned[off..].starts_with(tok) {
+                return None;
+            }
+            // Whole-identifier match.
+            let end = off + tok.len();
+            if cleaned[end..]
+                .chars()
+                .next()
+                .is_some_and(|n| n.is_alphanumeric() || n == '_')
+            {
+                return None;
+            }
+            while idx < compact.len() && compact[idx].0 < end {
+                idx += 1;
+            }
+        } else {
+            if c != tok.chars().next()? {
+                return None;
+            }
+            idx += 1;
+        }
+    }
+    Some(idx)
+}
+
+/// 1-indexed line of byte offset `off`.
+pub fn line_of(text: &str, off: usize) -> usize {
+    text[..off].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings_preserving_lines() {
+        let src = "let a = \"x.unwrap()\"; // .unwrap() in prose\nlet b = 1;\n";
+        let s = scan(src);
+        assert!(!s.cleaned.contains("unwrap"));
+        assert_eq!(s.cleaned.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn harvests_line_and_file_markers() {
+        let src = "\
+// lint:allow-file(no-wall-clock): this runtime is wall-clock by design
+fn f() {
+    // lint:allow(no-unwrap): documented panic contract
+    x.unwrap();
+}
+";
+        let s = scan(src);
+        assert_eq!(s.allows.len(), 2);
+        assert!(s.allows[0].file_wide);
+        assert!(s.is_allowed("no-wall-clock", 4));
+        assert!(s.is_allowed("no-unwrap", 4), "marker covers the next line");
+        assert!(!s.is_allowed("no-unwrap", 5));
+    }
+
+    #[test]
+    fn marker_without_reason_is_an_error() {
+        let s = scan("// lint:allow(no-unwrap)\n");
+        assert_eq!(s.allows.len(), 0);
+        assert_eq!(s.marker_errors.len(), 1);
+    }
+
+    #[test]
+    fn finds_cfg_test_ranges() {
+        let src = "\
+fn live() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        x.unwrap();
+    }
+}
+fn after() {}
+";
+        let s = scan(src);
+        assert_eq!(s.test_ranges, vec![(3, 9)]);
+        assert!(s.in_test_code(7));
+        assert!(!s.in_test_code(1));
+        assert!(!s.in_test_code(10));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(s.cleaned.contains("'a"), "lifetime must survive cleaning");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = scan("let x = r#\"Instant::now()\"#;\n");
+        assert!(!s.cleaned.contains("Instant"));
+    }
+}

@@ -1,0 +1,359 @@
+//! The lint rules and the workspace driver.
+//!
+//! Four token-level rules, each scoped to the paths where its invariant is
+//! load-bearing (scopes are listed in the rule table below and in the
+//! README). Test code (`tests/` directories and `#[cfg(test)]` items) and
+//! `shims/` are exempt everywhere; individual sites are waived with
+//! `// lint:allow(rule): reason` and whole files with
+//! `// lint:allow-file(rule): reason` — a missing reason is itself a lint
+//! error.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Scanned};
+
+/// One rule violation (or malformed marker) at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule name (or `lint-marker` for malformed markers).
+    pub rule: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How a rule recognises a violation in cleaned source text.
+enum Matcher {
+    /// `.name(` — a method call on some receiver (whitespace-tolerant).
+    MethodCall(&'static [&'static str]),
+    /// A literal path/identifier substring with identifier boundaries.
+    Tokens(&'static [&'static str]),
+}
+
+struct Rule {
+    name: &'static str,
+    message: &'static str,
+    matcher: Matcher,
+    in_scope: fn(&str) -> bool,
+}
+
+/// The runtime crates whose synchronization must go through the facade.
+fn runtime_crate(path: &str) -> bool {
+    path.starts_with("crates/simnet/src/")
+        || path.starts_with("crates/fleet/src/")
+        || path.starts_with("crates/core/src/")
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        // Hot paths of the concurrent runtime: the shard queue, the fleet
+        // scheduler, and the two files of sieve-core they drive per frame.
+        name: "no-unwrap",
+        message: "panic in a runtime hot path — return a typed error \
+                  (SieveError/FleetError) or justify with lint:allow",
+        matcher: Matcher::MethodCall(&["unwrap", "expect"]),
+        in_scope: |p| {
+            p.starts_with("crates/simnet/src/")
+                || p.starts_with("crates/fleet/src/")
+                || p == "crates/core/src/adapt.rs"
+                || p == "crates/core/src/live.rs"
+        },
+    },
+    Rule {
+        name: "no-std-sync",
+        message: "raw std/parking_lot synchronization bypasses the \
+                  sieve_simnet::sync facade (and the model checker with it)",
+        matcher: Matcher::Tokens(&[
+            "std::sync::Mutex",
+            "std::sync::RwLock",
+            "std::sync::Condvar",
+            "std::sync::atomic",
+            "parking_lot",
+        ]),
+        in_scope: runtime_crate,
+    },
+    Rule {
+        name: "no-wall-clock",
+        message: "wall clock in a simulator path — simulations must run on \
+                  virtual SimTime to stay deterministic",
+        matcher: Matcher::Tokens(&["Instant::now", "SystemTime"]),
+        in_scope: |p| p.starts_with("crates/simnet/src/"),
+    },
+    Rule {
+        name: "no-raw-spawn",
+        message: "raw thread spawn bypasses the sieve_simnet::sync::thread \
+                  facade — workers must be schedulable by the model checker",
+        matcher: Matcher::Tokens(&["std::thread::spawn"]),
+        in_scope: runtime_crate,
+    },
+];
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Byte offsets of whole-token occurrences of `needle` in `text`.
+fn token_occurrences(text: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = text[from..].find(needle) {
+        let at = from + p;
+        let before_ok = !text[..at].chars().next_back().is_some_and(is_ident);
+        let after_ok = !text[at + needle.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+/// Occurrences of `.name(` method calls (whitespace-tolerant around the
+/// dot and the open paren).
+fn method_call_occurrences(text: &str, name: &str) -> Vec<usize> {
+    token_occurrences(text, name)
+        .into_iter()
+        .filter(|&at| {
+            let before = text[..at].trim_end();
+            let after = text[at + name.len()..].trim_start();
+            before.ends_with('.') && after.starts_with('(')
+        })
+        .collect()
+}
+
+/// Runs every in-scope rule over one scanned file.
+fn check_file(path: &str, scanned: &Scanned) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = scanned
+        .marker_errors
+        .iter()
+        .map(|(line, msg)| Finding {
+            path: path.to_string(),
+            line: *line,
+            rule: "lint-marker",
+            message: msg.clone(),
+        })
+        .collect();
+    for rule in RULES {
+        if !(rule.in_scope)(path) {
+            continue;
+        }
+        let offsets: Vec<usize> = match &rule.matcher {
+            Matcher::MethodCall(names) => names
+                .iter()
+                .flat_map(|n| method_call_occurrences(&scanned.cleaned, n))
+                .collect(),
+            Matcher::Tokens(tokens) => tokens
+                .iter()
+                .flat_map(|t| token_occurrences(&scanned.cleaned, t))
+                .collect(),
+        };
+        for off in offsets {
+            let line = lexer::line_of(&scanned.cleaned, off);
+            if scanned.in_test_code(line) || scanned.is_allowed(rule.name, line) {
+                continue;
+            }
+            findings.push(Finding {
+                path: path.to_string(),
+                line,
+                rule: rule.name,
+                message: rule.message.to_string(),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `target/`,
+/// `shims/` and integration-test `tests/` directories.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "target" | "shims" | "tests" | ".git") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints the whole workspace rooted at `root`; returns every finding.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "examples"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    let mut findings = Vec::new();
+    for file in files {
+        let Ok(source) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let scanned = lexer::scan(&source);
+        findings.extend(check_file(&rel, &scanned));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        check_file(path, &lexer::scan(src))
+    }
+
+    #[test]
+    fn flags_unwrap_in_runtime_path() {
+        let f = check(
+            "crates/fleet/src/scheduler.rs",
+            "fn f() { q.pop().unwrap(); }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-unwrap");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn expect_flagged_whitespace_tolerant() {
+        let f = check(
+            "crates/simnet/src/shard.rs",
+            "fn f() { q.pop()\n    .expect (\"boom\"); }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let f = check(
+            "crates/fleet/src/scheduler.rs",
+            "fn f() { q.pop().unwrap_or(0); x.unwrap_or_else(|| 1); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_ignored() {
+        let f = check("crates/video/src/lib.rs", "fn f() { x.unwrap(); }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); }
+}
+";
+        let f = check("crates/fleet/src/scheduler.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_marker_waives_next_line_only() {
+        let src = "\
+fn f() {
+    // lint:allow(no-unwrap): join propagates a worker panic by contract
+    h.join().expect(\"worker\");
+    g.join().expect(\"worker\");
+}
+";
+        let f = check("crates/fleet/src/scheduler.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "// lint:allow(no-unwrap)\nfn f() {}\n";
+        let f = check("crates/fleet/src/scheduler.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "lint-marker");
+    }
+
+    #[test]
+    fn std_sync_and_parking_lot_flagged_outside_facade() {
+        let src = "use std::sync::Mutex;\nuse parking_lot::RwLock;\n";
+        let f = check("crates/core/src/live.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "no-std-sync"));
+    }
+
+    #[test]
+    fn arc_is_not_std_sync_violation() {
+        let f = check("crates/core/src/live.rs", "use std::sync::Arc;\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn wall_clock_flagged_in_simulator() {
+        let f = check(
+            "crates/simnet/src/des.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-wall-clock");
+    }
+
+    #[test]
+    fn allow_file_waives_whole_file() {
+        let src = "\
+// lint:allow-file(no-wall-clock): live runtime measures real time by design
+fn a() { Instant::now(); }
+fn b() { Instant::now(); }
+";
+        let f = check("crates/simnet/src/live.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn raw_spawn_flagged() {
+        let f = check(
+            "crates/fleet/src/scheduler.rs",
+            "fn f() { std::thread::spawn(|| {}); }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-raw-spawn");
+    }
+
+    #[test]
+    fn strings_and_comments_never_flag() {
+        let src = "\
+// Instant::now() is banned here; x.unwrap() too.
+fn f() { let s = \"Instant::now() .unwrap()\"; }
+";
+        let f = check("crates/simnet/src/des.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -95,6 +95,18 @@ impl Bencher {
     }
 }
 
+/// Robust summary of one benchmark's recorded samples, for programmatic
+/// consumers (benchmark binaries that serialize results to disk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Estimate {
+    /// Median iteration time over the recorded samples.
+    pub median: Duration,
+    /// Median absolute deviation around the median.
+    pub mad: Duration,
+    /// Number of recorded samples.
+    pub samples: usize,
+}
+
 /// The benchmark driver.
 #[derive(Debug)]
 pub struct Criterion {
@@ -139,17 +151,37 @@ impl Criterion {
 
     /// Runs one named benchmark and prints its median ± MAD iteration
     /// time over the recorded samples.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.bench_estimate(name, f);
+        self
+    }
+
+    /// Like [`Criterion::bench_function`], but also returns the
+    /// median ± MAD [`Estimate`] so callers can serialize it.
+    pub fn bench_estimate<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> Option<Estimate> {
         let mut b = Bencher::new(self.sample_size);
         f(&mut b);
+        let samples = b.samples.len();
         match b.median_and_mad() {
-            Some((median, mad)) => println!(
-                "bench {name:<40} median {median:>12.3?} ± {mad:>10.3?} (MAD, n={})",
-                self.sample_size
-            ),
-            None => println!("bench {name:<40} (no samples)"),
+            Some((median, mad)) => {
+                println!(
+                    "bench {name:<40} median {median:>12.3?} ± {mad:>10.3?} (MAD, n={samples})"
+                );
+                Some(Estimate {
+                    median,
+                    mad,
+                    samples,
+                })
+            }
+            None => {
+                println!("bench {name:<40} (no samples)");
+                None
+            }
         }
-        self
     }
 }
 
@@ -226,5 +258,23 @@ mod tests {
     fn empty_bencher_reports_no_samples() {
         let mut b = Bencher::new(0);
         assert_eq!(b.median_and_mad(), None);
+    }
+
+    #[test]
+    fn bench_estimate_exposes_median_and_mad() {
+        let mut c = Criterion::default().sample_size(4);
+        let est = c
+            .bench_estimate("spin", |b| {
+                b.iter(|| {
+                    let mut x = 0u64;
+                    for i in 0..1000u64 {
+                        x = x.wrapping_add(i);
+                    }
+                    black_box(x)
+                })
+            })
+            .expect("samples were recorded");
+        assert_eq!(est.samples, 4);
+        assert!(est.median > Duration::ZERO);
     }
 }
