@@ -1,0 +1,300 @@
+//! The `BENCH_fleet_scale.json` schema: serialized types plus a
+//! stability validator.
+//!
+//! The fleet-scale artifact is diffed PR-over-PR (a later session compares
+//! its numbers against this run's), so its *shape* is a contract:
+//! [`validate`] asserts the exact key sets, that every operating point
+//! carries a real `worst_rate_err` number (the 1-stream point used to emit
+//! `null` because no adaptive stream existed at n=1 — the camera mix now
+//! guarantees one at every size), and that the skewed-workload comparison
+//! records both scheduler configurations. The `fleet_scale` binary
+//! validates what it is about to write; a unit test validates the
+//! committed artifact at the repository root, so a schema regression fails
+//! `cargo test` before it lands.
+
+use serde::Serialize;
+
+/// One serialized operating point: a fleet size with its robust timing
+/// estimate and the counters of the final sampled run.
+#[derive(Debug, Serialize)]
+pub struct BenchPoint {
+    /// Concurrent streams at this point.
+    pub streams: usize,
+    /// Timing samples taken.
+    pub samples: usize,
+    /// Median serving wall time, seconds.
+    pub median_secs: f64,
+    /// Median absolute deviation of the serving time, seconds.
+    pub mad_secs: f64,
+    /// Aggregate frames/second at the median serving time.
+    pub median_fps: f64,
+    /// Frames decided in the final run.
+    pub processed: u64,
+    /// Frames kept in the final run.
+    pub kept: u64,
+    /// Admission refusals in the final run (feeders retry, so every frame
+    /// is still eventually processed; refusals measure back-pressure).
+    pub shed: u64,
+    /// `shed / (processed + shed)` of the final run.
+    pub shed_rate: f64,
+    /// 99th-percentile push→decision latency of the final run, µs.
+    pub p99_decision_latency_us: u64,
+    /// Worst relative |achieved − target| / target over adaptive streams
+    /// in the final run. Always present: the camera mix places the
+    /// adaptive MSE stream first, so every fleet size has at least one.
+    pub worst_rate_err: f64,
+}
+
+/// One scheduler configuration's outcome on the skewed workload.
+#[derive(Debug, Serialize)]
+pub struct SkewedRun {
+    /// Serving wall time, seconds.
+    pub wall_secs: f64,
+    /// Frames decided.
+    pub processed: u64,
+    /// Admission refusals (feeders retried them).
+    pub shed: u64,
+    /// `shed / (processed + shed)`.
+    pub shed_rate: f64,
+    /// Median push→decision latency, µs.
+    pub p50_decision_latency_us: u64,
+    /// 99th-percentile push→decision latency, µs.
+    pub p99_decision_latency_us: u64,
+    /// Frames processed on a non-home shard (0 when stealing is off).
+    pub stolen: u64,
+    /// Steal attempts that lost the victim-lock race.
+    pub steal_fail: u64,
+}
+
+/// The skewed (hot-camera) workload: every hot stream hashes to shard 0,
+/// so the round-robin baseline leaves the other shards idle while shard 0
+/// drowns — the scenario work stealing exists for.
+#[derive(Debug, Serialize)]
+pub struct SkewedComparison {
+    /// Total streams.
+    pub streams: usize,
+    /// Streams whose home shard is the hot shard (full-decode, high keep).
+    pub hot_streams: usize,
+    /// Frames per stream.
+    pub frames_per_stream: usize,
+    /// Thread-per-shard round-robin (stealing and priority lanes off).
+    pub baseline: SkewedRun,
+    /// Work stealing + keep-rate-derived priority lanes on.
+    pub stealing: SkewedRun,
+}
+
+/// The whole artifact written to `BENCH_fleet_scale.json`.
+#[derive(Debug, Serialize)]
+pub struct BenchArtifact {
+    /// Always `"fleet_scale"`.
+    pub benchmark: String,
+    /// Dataset scale the run used (`Tiny`/`Small`/`Full`).
+    pub scale: String,
+    /// Worker pool size.
+    pub shards: usize,
+    /// Frames fed per stream in the sweep.
+    pub frames_per_stream: usize,
+    /// The fleet-size sweep, ascending.
+    pub points: Vec<BenchPoint>,
+    /// The skewed-workload baseline-vs-stealing comparison.
+    pub skewed: SkewedComparison,
+}
+
+const ARTIFACT_KEYS: &[&str] = &[
+    "benchmark",
+    "scale",
+    "shards",
+    "frames_per_stream",
+    "points",
+    "skewed",
+];
+const POINT_KEYS: &[&str] = &[
+    "streams",
+    "samples",
+    "median_secs",
+    "mad_secs",
+    "median_fps",
+    "processed",
+    "kept",
+    "shed",
+    "shed_rate",
+    "p99_decision_latency_us",
+    "worst_rate_err",
+];
+const SKEWED_KEYS: &[&str] = &[
+    "streams",
+    "hot_streams",
+    "frames_per_stream",
+    "baseline",
+    "stealing",
+];
+const RUN_KEYS: &[&str] = &[
+    "wall_secs",
+    "processed",
+    "shed",
+    "shed_rate",
+    "p50_decision_latency_us",
+    "p99_decision_latency_us",
+    "stolen",
+    "steal_fail",
+];
+
+fn expect_keys(map: &serde::Map, keys: &[&str], what: &str) -> Result<(), String> {
+    let have: Vec<&str> = map.iter().map(|(k, _)| k).collect();
+    if have != keys {
+        return Err(format!("{what}: keys {have:?}, expected exactly {keys:?}"));
+    }
+    Ok(())
+}
+
+fn number_of(map: &serde::Map, key: &str, what: &str) -> Result<f64, String> {
+    match map.get(key) {
+        Some(serde::Value::Number(n)) => Ok(n.as_f64()),
+        Some(v) => Err(format!("{what}.{key}: expected a number, got {}", v.kind())),
+        None => Err(format!("{what}.{key}: missing")),
+    }
+}
+
+fn check_run(map: &serde::Map, what: &str) -> Result<(), String> {
+    let run = map
+        .get(what)
+        .and_then(serde::Value::as_object)
+        .ok_or_else(|| format!("skewed.{what}: expected an object"))?;
+    expect_keys(run, RUN_KEYS, &format!("skewed.{what}"))?;
+    let rate = number_of(run, "shed_rate", what)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("skewed.{what}.shed_rate: {rate} outside [0, 1]"));
+    }
+    Ok(())
+}
+
+/// Asserts the artifact's schema stability; see the module docs. `json`
+/// is the full text of `BENCH_fleet_scale.json`.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated schema rule.
+pub fn validate(json: &str) -> Result<(), String> {
+    let root = serde_json::parse_value_str(json).map_err(|e| format!("unparseable JSON: {e}"))?;
+    let root = root
+        .as_object()
+        .ok_or_else(|| "root: expected an object".to_string())?;
+    expect_keys(root, ARTIFACT_KEYS, "root")?;
+    if root.get("benchmark").and_then(serde::Value::as_str) != Some("fleet_scale") {
+        return Err("root.benchmark: expected \"fleet_scale\"".to_string());
+    }
+    let points = root
+        .get("points")
+        .and_then(serde::Value::as_array)
+        .ok_or_else(|| "root.points: expected an array".to_string())?;
+    if points.is_empty() {
+        return Err("root.points: must not be empty".to_string());
+    }
+    let mut prev_streams = 0.0;
+    for (i, point) in points.iter().enumerate() {
+        let what = format!("points[{i}]");
+        let point = point
+            .as_object()
+            .ok_or_else(|| format!("{what}: expected an object"))?;
+        expect_keys(point, POINT_KEYS, &what)?;
+        let streams = number_of(point, "streams", &what)?;
+        if streams <= prev_streams {
+            return Err(format!("{what}.streams: sweep must be ascending"));
+        }
+        prev_streams = streams;
+        // The regression this module exists for: `worst_rate_err` must be
+        // a real number at *every* point, including streams = 1.
+        let err = number_of(point, "worst_rate_err", &what)?;
+        if !err.is_finite() || err < 0.0 {
+            return Err(format!("{what}.worst_rate_err: {err} not a finite rate"));
+        }
+        let rate = number_of(point, "shed_rate", &what)?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("{what}.shed_rate: {rate} outside [0, 1]"));
+        }
+        number_of(point, "p99_decision_latency_us", &what)?;
+    }
+    let skewed = root
+        .get("skewed")
+        .and_then(serde::Value::as_object)
+        .ok_or_else(|| "root.skewed: expected an object".to_string())?;
+    expect_keys(skewed, SKEWED_KEYS, "skewed")?;
+    check_run(skewed, "baseline")?;
+    check_run(skewed, "stealing")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchArtifact {
+        let run = |stolen| SkewedRun {
+            wall_secs: 1.0,
+            processed: 100,
+            shed: 10,
+            shed_rate: 10.0 / 110.0,
+            p50_decision_latency_us: 64,
+            p99_decision_latency_us: 512,
+            stolen,
+            steal_fail: 1,
+        };
+        BenchArtifact {
+            benchmark: "fleet_scale".into(),
+            scale: "Tiny".into(),
+            shards: 4,
+            frames_per_stream: 240,
+            points: vec![BenchPoint {
+                streams: 1,
+                samples: 3,
+                median_secs: 0.5,
+                mad_secs: 0.01,
+                median_fps: 480.0,
+                processed: 240,
+                kept: 24,
+                shed: 0,
+                shed_rate: 0.0,
+                p99_decision_latency_us: 128,
+                worst_rate_err: 0.05,
+            }],
+            skewed: SkewedComparison {
+                streams: 256,
+                hot_streams: 64,
+                frames_per_stream: 120,
+                baseline: run(0),
+                stealing: run(500),
+            },
+        }
+    }
+
+    fn to_json(a: &BenchArtifact) -> String {
+        serde_json::to_string_pretty(a).expect("serializes")
+    }
+
+    #[test]
+    fn generated_artifact_validates() {
+        validate(&to_json(&sample())).expect("schema-clean");
+    }
+
+    #[test]
+    fn null_rate_err_is_rejected() {
+        let json = to_json(&sample()).replace("0.05", "null");
+        let err = validate(&json).expect_err("null must fail");
+        assert!(err.contains("worst_rate_err"), "{err}");
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_rejected() {
+        let json = to_json(&sample()).replace("\"stolen\"", "\"purloined\"");
+        assert!(validate(&json).is_err(), "renamed key must fail");
+        let json = to_json(&sample()).replace("fleet_scale", "fleet_scale_v2");
+        assert!(validate(&json).is_err(), "benchmark name is pinned");
+    }
+
+    #[test]
+    fn committed_artifact_is_schema_stable() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet_scale.json");
+        let json = std::fs::read_to_string(path).expect("committed artifact exists");
+        validate(&json).unwrap_or_else(|e| panic!("committed artifact violates schema: {e}"));
+    }
+}

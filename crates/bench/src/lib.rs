@@ -18,6 +18,7 @@
 //! Pass `--scale small` (default `tiny`) for longer, higher-resolution runs.
 //! Criterion micro-benchmarks live under `benches/`.
 
+pub mod fleet_artifact;
 pub mod harness;
 pub mod report;
 

@@ -39,6 +39,7 @@ fn join_leave_racing_drain_never_orphans_a_stream() {
                 queue_capacity: 2,
                 global_frame_budget: 4,
                 max_streams: 2,
+                ..FleetConfig::default()
             });
             let selector = IFrameSelector::new();
             let id = fleet.join(&selector, stream_config()).expect("admitted");
@@ -86,6 +87,7 @@ fn shed_accounting_never_double_counts() {
                 queue_capacity: 2,
                 global_frame_budget: 1,
                 max_streams: 2,
+                ..FleetConfig::default()
             });
             let selector = IFrameSelector::new();
             let id = fleet.join(&selector, stream_config()).expect("admitted");
@@ -125,6 +127,7 @@ fn shutdown_always_terminates_and_flushes() {
                 queue_capacity: 2,
                 global_frame_budget: 4,
                 max_streams: 2,
+                ..FleetConfig::default()
             });
             let selector = IFrameSelector::new();
             let id = fleet.join(&selector, stream_config()).expect("admitted");

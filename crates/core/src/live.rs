@@ -111,13 +111,42 @@ impl EdgeSession {
         resolution: Resolution,
         quality: u8,
     ) -> Self {
+        Self::from_parts(
+            selector.session(),
+            selector.requires_full_decode(),
+            Decoder::new(resolution, quality),
+            resolution,
+            quality,
+        )
+    }
+
+    /// Assembles an edge session from an already-created streaming session
+    /// and an externally-owned decoder — the entry point for runtimes that
+    /// pool decoders across streams (`sieve-fleet`'s slab pool) or defer
+    /// decoder construction until a stream's first frame actually arrives.
+    /// The decoder must match the stream's `resolution`/`quality` and
+    /// should be [`Decoder::reset`] if it previously served another stream.
+    pub fn from_parts(
+        session: Box<dyn SelectorSession>,
+        full_decode: bool,
+        stream_decoder: Decoder,
+        resolution: Resolution,
+        quality: u8,
+    ) -> Self {
         Self {
-            session: selector.session(),
-            full_decode: selector.requires_full_decode(),
-            stream_decoder: Decoder::new(resolution, quality),
+            session,
+            full_decode,
+            stream_decoder,
             resolution,
             quality,
         }
+    }
+
+    /// Tears the session down and hands its decoder back, so the caller
+    /// can return it to a pool instead of dropping the (reference frame +
+    /// quant table) allocation. Call [`EdgeSession::finish`] first.
+    pub fn into_decoder(self) -> Decoder {
+        self.stream_decoder
     }
 
     /// Observes the next arriving frame (ascending `index` per stream) and

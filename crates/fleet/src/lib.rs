@@ -8,10 +8,16 @@
 //! * **Admission** ([`Fleet::join`] / [`Fleet::leave`]) registers streams
 //!   at runtime, each with its own selection policy and a label for the
 //!   metrics; a `max_streams` cap bounds the control plane.
-//! * **Sharded scheduling**: a fixed pool of worker threads (shards);
-//!   streams are hashed to shards and drained round-robin from bounded
-//!   per-stream queues ([`sieve_simnet::ShardQueue`]). Ingest never
-//!   blocks: under load a frame is **shed** — a first-class
+//! * **Sharded scheduling with work stealing**: a fixed pool of worker
+//!   threads (shards); streams are hashed to shards and drained from
+//!   bounded per-stream queues ([`sieve_simnet::ShardQueue`]) by weighted
+//!   round-robin, where each lane's weight is *derived* from the
+//!   stream's on-line keep rate ([`priority`]) and an aging term bounds
+//!   starvation. An idle shard steals the front half of a hot
+//!   neighbour's deepest lane instead of sleeping (the owner always wins
+//!   the lock race; a busy-marked lane preserves per-stream FIFO and
+//!   exactly-once processing under theft — see [`scheduler`]). Ingest
+//!   never blocks: under load a frame is **shed** — a first-class
 //!   [`Ingest::Shed`] outcome counted separately from a policy drop, so an
 //!   overloaded edge is distinguishable from a well-filtering one. A
 //!   global frame budget bounds fleet-wide queued memory.
@@ -25,8 +31,10 @@
 //!   calibration pass — fraction budgets on live edges that never see the
 //!   whole video.
 //! * **Metrics** ([`Fleet::snapshot`] / [`FleetReport`]): per-stream and
-//!   aggregate kept / dropped / shed / failed counts, queue depths, and
-//!   achieved sampling rate vs. target.
+//!   aggregate kept / dropped / shed / failed counts, queue depths,
+//!   achieved sampling rate vs. target, plus scheduler health — frames
+//!   `stolen`, failed steal attempts, and a push→decision latency
+//!   histogram ([`LatencySnapshot`]).
 //!
 //! Memory stays bounded no matter how many frames flow: queued encoded
 //! frames ≤ `global_frame_budget`, and per-stream decode state is one
@@ -61,9 +69,11 @@
 //! ```
 
 pub mod metrics;
+mod pool;
+pub mod priority;
 pub mod registry;
 pub mod scheduler;
 
-pub use metrics::{FleetAggregate, FleetReport, FleetSnapshot, StreamSnapshot};
+pub use metrics::{FleetAggregate, FleetReport, FleetSnapshot, LatencySnapshot, StreamSnapshot};
 pub use registry::{FleetError, StreamConfig, StreamId};
-pub use scheduler::{Fleet, FleetConfig, FramePacket, Ingest, KeepSink, ShedCause};
+pub use scheduler::{shard_of, Fleet, FleetConfig, FramePacket, Ingest, KeepSink, ShedCause};

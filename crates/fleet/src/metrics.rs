@@ -43,6 +43,98 @@ pub(crate) struct StreamCell {
     pub finish_error: Mutex<Option<String>>,
 }
 
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` microseconds, so the range spans 1 µs .. ~18 min.
+const LATENCY_BUCKETS: usize = 40;
+
+/// A lock-free histogram of decision latencies (push → decision) in
+/// power-of-two microsecond buckets. Recording is one relaxed atomic
+/// increment; quantiles are computed at snapshot time.
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.snapshot().map(|s| s.count))
+            .finish()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub(crate) fn record_micros(&self, micros: u64) {
+        let bucket = (micros.max(1).ilog2() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The value at quantile `q` (0..=1), reported as the recording
+    /// bucket's upper bound — a ≤ 2× overestimate, never an underestimate.
+    fn quantile(&self, counts: &[u64], q: f64) -> u64 {
+        let total: u64 = counts.iter().sum();
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i as u32 + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+
+    /// `None` until at least one sample was recorded.
+    pub(crate) fn snapshot(&self) -> Option<LatencySnapshot> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return None;
+        }
+        Some(LatencySnapshot {
+            count,
+            p50_us: self.quantile(&counts, 0.50),
+            p99_us: self.quantile(&counts, 0.99),
+        })
+    }
+}
+
+/// Decision-latency quantiles over every processed frame: the time from
+/// [`crate::Fleet::push`] accepting a frame to its keep/drop decision
+/// completing on a shard. Values are bucket upper bounds (≤ 2× coarse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Decisions sampled.
+    pub count: u64,
+    /// Median decision latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile decision latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// Fleet-wide scheduler telemetry shared by every shard worker.
+#[derive(Debug, Default)]
+pub(crate) struct SchedStats {
+    /// Frames processed out of *stolen* batches (work that moved shards).
+    pub stolen: AtomicU64,
+    /// Steal attempts abandoned because the victim's queue lock was
+    /// contended (the owner always wins; the thief moves on).
+    pub steal_fail: AtomicU64,
+    /// Push→decision latency across all streams.
+    pub latency: LatencyHistogram,
+}
+
 /// Point-in-time view of one stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamSnapshot {
@@ -114,10 +206,17 @@ pub struct FleetSnapshot {
     pub streams: Vec<StreamSnapshot>,
     /// Sums over all streams.
     pub aggregate: FleetAggregate,
+    /// Frames processed on a shard other than their home (stolen batches).
+    pub stolen: u64,
+    /// Steal attempts that lost the victim-lock race and moved on.
+    pub steal_fail: u64,
+    /// Push→decision latency quantiles; `None` until a frame is decided
+    /// (and always `None` in model-check builds, which forbid wall time).
+    pub decision_latency: Option<LatencySnapshot>,
 }
 
 impl FleetSnapshot {
-    pub(crate) fn of(mut streams: Vec<StreamSnapshot>) -> Self {
+    pub(crate) fn of(mut streams: Vec<StreamSnapshot>, sched: &SchedStats) -> Self {
         streams.sort_by_key(|s| s.id);
         let mut aggregate = FleetAggregate {
             streams: streams.len(),
@@ -132,7 +231,13 @@ impl FleetSnapshot {
             aggregate.kept_payload_bytes += s.kept_payload_bytes;
             aggregate.queue_depth += s.queue_depth;
         }
-        Self { streams, aggregate }
+        Self {
+            streams,
+            aggregate,
+            stolen: sched.stolen.load(Ordering::Relaxed),
+            steal_fail: sched.steal_fail.load(Ordering::Relaxed),
+            decision_latency: sched.latency.snapshot(),
+        }
     }
 }
 

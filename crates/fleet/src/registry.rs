@@ -31,6 +31,10 @@ pub struct StreamConfig {
     /// The requested sampling rate, if the stream's policy targets one —
     /// recorded so snapshots can report achieved vs. target.
     pub target_rate: Option<f64>,
+    /// Expected keep rate in `[0, 1]`, seeding the stream's scheduling
+    /// priority before any frame has been decided (see
+    /// [`crate::priority`]). Defaults to the target rate, else 0.5.
+    pub priority_hint: Option<f64>,
 }
 
 impl StreamConfig {
@@ -41,6 +45,7 @@ impl StreamConfig {
             resolution,
             quality,
             target_rate: None,
+            priority_hint: None,
         }
     }
 
@@ -48,6 +53,14 @@ impl StreamConfig {
     #[must_use]
     pub fn with_target_rate(mut self, rate: f64) -> Self {
         self.target_rate = Some(rate);
+        self
+    }
+
+    /// Seeds the stream's scheduling priority with an expected keep rate
+    /// (clamped to `[0, 1]` at use).
+    #[must_use]
+    pub fn with_priority_hint(mut self, hint: f64) -> Self {
+        self.priority_hint = Some(hint);
         self
     }
 }

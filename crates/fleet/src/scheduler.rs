@@ -1,4 +1,4 @@
-//! The sharded scheduler: a fixed worker pool driving one
+//! The sharded scheduler: a work-stealing worker pool driving one
 //! [`EdgeSession`] per stream over bounded per-stream queues.
 //!
 //! Streams are hashed to shards at admission; each shard is one OS thread
@@ -7,22 +7,54 @@
 //! global frame budget exhausted is **shed** — counted, visible in the
 //! metrics, and never seen by the selection policy (distinct from a policy
 //! *drop*). Memory is bounded by construction: at most
-//! `global_frame_budget` encoded frames are queued fleet-wide, and the
-//! per-stream decode state is one [`EdgeSession`] (a stateful decoder plus
-//! at most one previous frame — never a whole-stream buffer).
+//! `global_frame_budget` encoded frames are queued fleet-wide, and
+//! per-stream decode state is one pooled decoder (acquired on a stream's
+//! first frame, recycled into the shared slab pool at finish) plus at most
+//! one previous frame, never a whole-stream buffer.
+//!
+//! # Work stealing
+//!
+//! A shard that finds its own queue empty does not sleep immediately: it
+//! sweeps its neighbours' queues with [`ShardQueue::try_steal`] —
+//! owner-preferred (`try_lock`; contention means the owner is active, the
+//! thief moves on and counts a `steal_fail`), steal-half batching, and the
+//! lane-busy claim that makes theft invisible to correctness: a claimed
+//! lane is skipped by its owner and its end-of-stream flush is deferred,
+//! so no frame is lost, none is double-drained, and per-lane FIFO order is
+//! preserved (the stolen batch is strictly older than anything the owner
+//! can still pop). Stolen frames are processed with the victim stream's
+//! own state and counters; only the CPU moves.
+//!
+//! **Lock order.** A worker takes, in order and never simultaneously:
+//! the victim's queue lock (released inside `try_steal`), then the
+//! victim's `states` map lock (released before decoding), then — after
+//! decode — the `states` lock again to re-park the stream. The registry
+//! lock precedes any of these on the admission path and is never taken by
+//! workers, so no cycle exists between registry, states maps and queue
+//! internals.
+//!
+//! # Priority
+//!
+//! With [`FleetConfig::priority_lanes`] on, every keep/drop decision
+//! updates the stream's keep-rate EWMA and re-derives its lane weight
+//! ([`crate::priority`]) in the same [`ShardQueue::complete`] call that
+//! releases the lane — recently-keeping cameras outrank idle ones, and the
+//! queue's aging term bounds any lane's wait regardless of weights.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use sieve_core::{EdgeOutcome, EdgeSession, FrameSelector};
+use sieve_core::{EdgeOutcome, EdgeSession, FrameSelector, SelectorSession};
 use sieve_simnet::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use sieve_simnet::sync::thread::{self, JoinHandle};
 use sieve_simnet::sync::{Mutex, RwLock};
-use sieve_simnet::{Popped, PushOutcome, ShardQueue};
-use sieve_video::{EncodedFrame, Frame, FrameType};
+use sieve_simnet::{GuardedPop, PushOutcome, ShardQueue, Steal};
+use sieve_video::{EncodedFrame, Frame, FrameType, Resolution};
 
-use crate::metrics::{FleetReport, FleetSnapshot, StreamCell};
+use crate::metrics::{FleetReport, FleetSnapshot, SchedStats, StreamCell};
+use crate::pool::DecoderPool;
+use crate::priority::{initial_ewma, update_ewma, weight_of};
 use crate::registry::{FleetError, StreamConfig, StreamId};
 
 /// One encoded frame in flight: what a camera pushes into the fleet.
@@ -43,6 +75,26 @@ impl FramePacket {
             index,
             frame_type: frame.frame_type,
             payload: frame.data.clone(),
+        }
+    }
+}
+
+/// A queued frame plus its admission timestamp (the start of the
+/// decision-latency clock). Model-check builds carry no timestamp: wall
+/// time is nondeterministic and must not influence explored schedules.
+#[derive(Debug)]
+struct QueuedFrame {
+    packet: FramePacket,
+    #[cfg(not(feature = "model-check"))]
+    enqueued: Instant,
+}
+
+impl QueuedFrame {
+    fn now(packet: FramePacket) -> Self {
+        Self {
+            packet,
+            #[cfg(not(feature = "model-check"))]
+            enqueued: Instant::now(),
         }
     }
 }
@@ -78,6 +130,13 @@ pub struct FleetConfig {
     /// Admission cap on concurrently *live* streams (left streams free
     /// their slot immediately).
     pub max_streams: usize,
+    /// Idle shards drain hot neighbours' lanes (see the module docs).
+    /// Off, each shard only ever touches its own queue — the thread-per-
+    /// shard baseline the benchmarks compare against.
+    pub work_stealing: bool,
+    /// Lane weights follow per-stream keep rates ([`crate::priority`]).
+    /// Off, all lanes stay at weight 1: plain round-robin.
+    pub priority_lanes: bool,
 }
 
 impl Default for FleetConfig {
@@ -87,15 +146,77 @@ impl Default for FleetConfig {
             queue_capacity: 16,
             global_frame_budget: 256,
             max_streams: 64,
+            work_stealing: true,
+            priority_lanes: true,
         }
     }
 }
 
-/// The per-stream worker-side state, owned by exactly one shard.
+/// Most frames one steal takes; `try_steal` additionally never takes more
+/// than half the victim lane's queue.
+const STEAL_BATCH_MAX: usize = 8;
+
+/// A stream's edge machinery, materialised lazily: registered-but-idle
+/// streams hold only their (small) policy session; the decoder — the
+/// dominant allocation — is acquired from the shared pool on the first
+/// frame and recycled at finish.
+enum EdgeState {
+    /// No frame seen yet; no decoder held.
+    Idle {
+        session: Box<dyn SelectorSession>,
+        full_decode: bool,
+        resolution: Resolution,
+        quality: u8,
+    },
+    /// Frames flowing; a pooled decoder is in use. Boxed: the session
+    /// (decoder + selector) dwarfs the other variants.
+    Active(Box<EdgeSession>),
+    /// Placeholder while ownership moves between the variants.
+    Retired,
+}
+
+/// The per-stream worker-side state, owned by exactly one shard (or, for
+/// the duration of a stolen batch, by the claiming thief).
 struct StreamWorker {
-    edge: EdgeSession,
+    state: EdgeState,
     cell: Arc<StreamCell>,
     on_keep: Option<KeepSink>,
+    /// EWMA of keep decisions, driving the lane weight.
+    keep_ewma: f64,
+}
+
+impl StreamWorker {
+    /// The live edge session, activating it (pool decoder acquisition) on
+    /// the stream's first frame.
+    fn session(&mut self, pool: &DecoderPool) -> &mut EdgeSession {
+        if matches!(self.state, EdgeState::Idle { .. }) {
+            let EdgeState::Idle {
+                session,
+                full_decode,
+                resolution,
+                quality,
+            } = std::mem::replace(&mut self.state, EdgeState::Retired)
+            else {
+                unreachable!("just matched Idle");
+            };
+            let decoder = pool.acquire(resolution, quality);
+            self.state = EdgeState::Active(Box::new(EdgeSession::from_parts(
+                session,
+                full_decode,
+                decoder,
+                resolution,
+                quality,
+            )));
+        }
+        match &mut self.state {
+            EdgeState::Active(edge) => edge,
+            // A retired stream's worker is removed from the states map at
+            // finish, so a frame can never reach it.
+            EdgeState::Idle { .. } | EdgeState::Retired => {
+                unreachable!("frame delivered to a retired stream")
+            }
+        }
+    }
 }
 
 /// Callback invoked on the shard thread for every kept frame.
@@ -112,16 +233,18 @@ struct StreamEntry {
 }
 
 /// A multi-stream edge runtime: stream admission, sharded scheduling with
-/// bounded queues and explicit load shedding, per-stream streaming
-/// selection. See the crate docs for the full model and an example.
+/// bounded queues, work stealing, keep-rate-derived lane priorities and
+/// explicit load shedding. See the crate docs for the full model.
 pub struct Fleet {
     config: FleetConfig,
-    queues: Vec<Arc<ShardQueue<FramePacket>>>,
+    queues: Vec<Arc<ShardQueue<QueuedFrame>>>,
     states: Vec<Arc<Mutex<BTreeMap<u64, StreamWorker>>>>,
     workers: Vec<JoinHandle<()>>,
     registry: RwLock<BTreeMap<u64, StreamEntry>>,
     next_id: AtomicU64,
     inflight: Arc<AtomicUsize>,
+    sched: Arc<SchedStats>,
+    pool: Arc<DecoderPool>,
     started: Instant,
 }
 
@@ -136,7 +259,10 @@ impl std::fmt::Debug for Fleet {
 
 /// SplitMix64 finalizer (the same mixer `sieve_datasets::stream_seed`
 /// uses for content seeds): spreads sequential stream ids across shards.
-fn shard_of(id: u64, shards: usize) -> usize {
+/// Public so load generators can *construct* skew — ids are assigned
+/// sequentially from 0 in join order, so a bench can predict each future
+/// stream's home shard and aim a hot workload at one of them.
+pub fn shard_of(id: u64, shards: usize) -> usize {
     let mut z = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -159,18 +285,29 @@ impl Fleet {
         );
         assert!(config.max_streams > 0, "stream cap must be positive");
         let inflight = Arc::new(AtomicUsize::new(0));
-        let mut queues = Vec::with_capacity(config.shards);
-        let mut states = Vec::with_capacity(config.shards);
-        let mut workers = Vec::with_capacity(config.shards);
-        for _ in 0..config.shards {
-            let queue = Arc::new(ShardQueue::<FramePacket>::new(config.queue_capacity));
-            let state: Arc<Mutex<BTreeMap<u64, StreamWorker>>> =
-                Arc::new(Mutex::new(BTreeMap::new()));
-            let (q, st, infl) = (queue.clone(), state.clone(), inflight.clone());
-            workers.push(thread::spawn(move || shard_loop(&q, &st, &infl)));
-            queues.push(queue);
-            states.push(state);
-        }
+        let sched = Arc::new(SchedStats::default());
+        let pool = Arc::new(DecoderPool::default());
+        let queues: Vec<_> = (0..config.shards)
+            .map(|_| Arc::new(ShardQueue::<QueuedFrame>::new(config.queue_capacity)))
+            .collect();
+        let states: Vec<Arc<Mutex<BTreeMap<u64, StreamWorker>>>> = (0..config.shards)
+            .map(|_| Arc::new(Mutex::new(BTreeMap::new())))
+            .collect();
+        let workers = (0..config.shards)
+            .map(|me| {
+                let ctx = ShardCtx {
+                    me,
+                    queues: queues.clone(),
+                    states: states.clone(),
+                    inflight: inflight.clone(),
+                    sched: sched.clone(),
+                    pool: pool.clone(),
+                    work_stealing: config.work_stealing,
+                    priority_lanes: config.priority_lanes,
+                };
+                thread::spawn(move || shard_loop(&ctx))
+            })
+            .collect();
         Self {
             config,
             queues,
@@ -179,6 +316,8 @@ impl Fleet {
             registry: RwLock::new(BTreeMap::new()),
             next_id: AtomicU64::new(0),
             inflight,
+            sched,
+            pool,
             started: Instant::now(),
         }
     }
@@ -192,7 +331,8 @@ impl Fleet {
     /// selector is consulted on the caller's thread (session factory +
     /// metadata); only the session moves to the owning shard. On-line
     /// policies need no `prepare`, which is the point: the fleet never
-    /// sees a whole video.
+    /// sees a whole video. No decoder is allocated until the stream's
+    /// first frame arrives.
     ///
     /// # Errors
     ///
@@ -241,15 +381,26 @@ impl Fleet {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let shard = shard_of(id, self.config.shards);
         let cell = Arc::new(StreamCell::default());
+        let target_rate = config.target_rate.or_else(|| selector.target_rate());
+        let ewma = initial_ewma(config.priority_hint.or(target_rate));
         let worker = StreamWorker {
-            edge: EdgeSession::open(selector, config.resolution, config.quality),
+            state: EdgeState::Idle {
+                session: selector.session(),
+                full_decode: selector.requires_full_decode(),
+                resolution: config.resolution,
+                quality: config.quality,
+            },
             cell: cell.clone(),
             on_keep,
+            keep_ewma: ewma,
         };
         // Worker state must exist before the lane opens: once the lane is
         // visible, frames can reach the shard thread.
         self.states[shard].lock().insert(id, worker);
         assert!(self.queues[shard].open_lane(id), "fresh ids are unique");
+        if self.config.priority_lanes {
+            self.queues[shard].set_lane_weight(id, weight_of(ewma));
+        }
         registry.insert(
             id,
             StreamEntry {
@@ -260,7 +411,7 @@ impl Fleet {
                 // Prefer the caller's explicit target; fall back to the
                 // policy's own on-line target so the metrics cannot
                 // silently disagree with the deployed budget.
-                target_rate: config.target_rate.or_else(|| selector.target_rate()),
+                target_rate,
                 closed: false,
             },
         );
@@ -301,8 +452,23 @@ impl Fleet {
         // and a decrement racing ahead of the increment would wrap the
         // depth counter.
         cell.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
-        match self.queues[shard].try_push(id.0, packet) {
-            PushOutcome::Queued => Ok(Ingest::Queued),
+        match self.queues[shard].try_push(id.0, QueuedFrame::now(packet)) {
+            PushOutcome::Queued => {
+                // A backlogged home shard means idle neighbours should come
+                // stealing; the nudge is a hint (notify without state), so
+                // it is level-triggered off every push while backlog lasts.
+                // Model-check builds skip it to keep schedules small; the
+                // checker's own steal models drive thieves explicitly.
+                #[cfg(not(feature = "model-check"))]
+                if self.config.work_stealing && self.queues[shard].backlogged() {
+                    for (i, queue) in self.queues.iter().enumerate() {
+                        if i != shard {
+                            queue.nudge();
+                        }
+                    }
+                }
+                Ok(Ingest::Queued)
+            }
             PushOutcome::Shed => {
                 cell.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 self.inflight.fetch_sub(1, Ordering::AcqRel);
@@ -348,6 +514,7 @@ impl Fleet {
                         .snapshot(StreamId(id), &e.label, e.selector, e.target_rate)
                 })
                 .collect(),
+            &self.sched,
         )
     }
 
@@ -355,6 +522,18 @@ impl Fleet {
     /// [`FleetConfig::global_frame_budget`]).
     pub fn inflight(&self) -> usize {
         self.inflight.load(Ordering::Acquire)
+    }
+
+    /// Decoders currently parked in the shared slab pool — live decoders
+    /// track *actively decoding* streams, not registered ones.
+    pub fn pooled_decoders(&self) -> usize {
+        self.pool.parked()
+    }
+
+    /// Decoder acquisitions served by recycling a parked decoder instead
+    /// of constructing a fresh one (stream churn stops allocating).
+    pub fn decoder_reuses(&self) -> u64 {
+        self.pool.reuses()
     }
 
     /// Closes every stream, drains every queue, joins the workers and
@@ -403,56 +582,181 @@ impl Drop for Fleet {
     }
 }
 
-/// One shard's worker loop: round-robin over the shard's lanes, one frame
-/// at a time, with the stream's state taken out of the shared map for the
-/// duration of the (slow) decode so admission never waits on codec work.
-fn shard_loop(
-    queue: &ShardQueue<FramePacket>,
-    states: &Mutex<BTreeMap<u64, StreamWorker>>,
-    inflight: &AtomicUsize,
-) {
-    while let Some(popped) = queue.pop() {
-        match popped {
-            Popped::Item(key, packet) => {
-                let Some(mut worker) = states.lock().remove(&key) else {
-                    // Stream state already retired (finish raced a late
-                    // item); release the reservation and move on.
-                    inflight.fetch_sub(1, Ordering::AcqRel);
-                    continue;
-                };
-                let counters = &worker.cell.counters;
-                counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                let payload_len = packet.payload.len() as u64;
-                match worker
-                    .edge
-                    .observe(packet.index, packet.frame_type, packet.payload)
-                {
-                    EdgeOutcome::Kept(frame) => {
-                        counters.kept.fetch_add(1, Ordering::Relaxed);
-                        counters
-                            .kept_payload_bytes
-                            .fetch_add(payload_len, Ordering::Relaxed);
-                        if let Some(sink) = &mut worker.on_keep {
-                            sink(packet.index, &frame);
-                        }
-                    }
-                    EdgeOutcome::Dropped => {
-                        counters.dropped.fetch_add(1, Ordering::Relaxed);
-                    }
-                    EdgeOutcome::Failed => {
-                        counters.failed.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                counters.processed.fetch_add(1, Ordering::Relaxed);
-                inflight.fetch_sub(1, Ordering::AcqRel);
-                states.lock().insert(key, worker);
+/// Everything one shard worker needs: its own index plus shared handles to
+/// *every* queue and states map (victims included).
+struct ShardCtx {
+    me: usize,
+    queues: Vec<Arc<ShardQueue<QueuedFrame>>>,
+    states: Vec<Arc<Mutex<BTreeMap<u64, StreamWorker>>>>,
+    inflight: Arc<AtomicUsize>,
+    sched: Arc<SchedStats>,
+    pool: Arc<DecoderPool>,
+    work_stealing: bool,
+    priority_lanes: bool,
+}
+
+/// Decides one frame with the stream's own session and counters; returns
+/// nothing — every outcome is accounted in the worker's cell.
+fn process_frame(ctx: &ShardCtx, worker: &mut StreamWorker, qf: QueuedFrame) {
+    worker
+        .cell
+        .counters
+        .queue_depth
+        .fetch_sub(1, Ordering::Relaxed);
+    let packet = qf.packet;
+    let payload_len = packet.payload.len() as u64;
+    let outcome =
+        worker
+            .session(&ctx.pool)
+            .observe(packet.index, packet.frame_type, packet.payload);
+    let kept = matches!(outcome, EdgeOutcome::Kept(_));
+    let counters = &worker.cell.counters;
+    match outcome {
+        EdgeOutcome::Kept(frame) => {
+            counters.kept.fetch_add(1, Ordering::Relaxed);
+            counters
+                .kept_payload_bytes
+                .fetch_add(payload_len, Ordering::Relaxed);
+            if let Some(sink) = &mut worker.on_keep {
+                sink(packet.index, &frame);
             }
-            Popped::LaneFinished(key) => {
-                if let Some(mut worker) = states.lock().remove(&key) {
-                    let result = worker.edge.finish();
-                    *worker.cell.finish_error.lock() = result.err().map(|e| e.to_string());
-                    worker.cell.done.store(true, Ordering::Release);
+        }
+        EdgeOutcome::Dropped => {
+            counters.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        EdgeOutcome::Failed => {
+            counters.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    counters.processed.fetch_add(1, Ordering::Relaxed);
+    worker.keep_ewma = update_ewma(worker.keep_ewma, kept);
+    ctx.inflight.fetch_sub(1, Ordering::AcqRel);
+    #[cfg(not(feature = "model-check"))]
+    ctx.sched
+        .latency
+        .record_micros(qf.enqueued.elapsed().as_micros() as u64);
+}
+
+/// The weight to install when releasing a lane (None leaves it alone, and
+/// keeps round-robin exact when priority lanes are off).
+fn lane_weight_update(ctx: &ShardCtx, worker: &StreamWorker) -> Option<u32> {
+    ctx.priority_lanes.then(|| weight_of(worker.keep_ewma))
+}
+
+/// Flushes a finished stream on whatever thread delivered its
+/// `LaneFinished`, recycling its decoder into the pool.
+fn finish_stream(ctx: &ShardCtx, victim: usize, key: u64) {
+    let Some(mut worker) = ctx.states[victim].lock().remove(&key) else {
+        return;
+    };
+    let result = match std::mem::replace(&mut worker.state, EdgeState::Retired) {
+        EdgeState::Active(mut edge) => {
+            let r = edge.finish();
+            ctx.pool.release(edge.into_decoder());
+            r
+        }
+        // Never saw a frame: no decoder to recycle, still flush the
+        // policy session (deferred policy failures surface here).
+        EdgeState::Idle { mut session, .. } => session.finish(),
+        EdgeState::Retired => Ok(()),
+    };
+    *worker.cell.finish_error.lock() = result.err().map(|e| e.to_string());
+    worker.cell.done.store(true, Ordering::Release);
+}
+
+/// One guarded-pop service of shard `victim`'s queue by this worker.
+/// Returns `false` only on `Empty` (nothing to do there right now).
+fn serve_own(ctx: &ShardCtx) -> GuardedPop<()> {
+    let queue = &ctx.queues[ctx.me];
+    match queue.try_pop_guarded() {
+        GuardedPop::Item(key, qf) => {
+            let worker = ctx.states[ctx.me].lock().remove(&key);
+            match worker {
+                Some(mut worker) => {
+                    process_frame(ctx, &mut worker, qf);
+                    let weight = lane_weight_update(ctx, &worker);
+                    ctx.states[ctx.me].lock().insert(key, worker);
+                    queue.complete(key, weight);
                 }
+                None => {
+                    // Unreachable by protocol (a lane's worker outlives the
+                    // lane), but never strand the busy claim or the budget.
+                    ctx.inflight.fetch_sub(1, Ordering::AcqRel);
+                    queue.complete(key, None);
+                }
+            }
+            GuardedPop::Item(key, ())
+        }
+        GuardedPop::LaneFinished(key) => {
+            finish_stream(ctx, ctx.me, key);
+            GuardedPop::LaneFinished(key)
+        }
+        GuardedPop::Empty => GuardedPop::Empty,
+        GuardedPop::Shutdown => GuardedPop::Shutdown,
+    }
+}
+
+/// Sweeps every other shard once, stealing at most one batch. Returns
+/// `true` if any work was transferred (caller should re-check its own
+/// queue before sweeping again).
+fn steal_round(ctx: &ShardCtx) -> bool {
+    let n = ctx.queues.len();
+    for step in 1..n {
+        let victim = (ctx.me + step) % n;
+        match ctx.queues[victim].try_steal(STEAL_BATCH_MAX) {
+            Steal::Batch { key, items } => {
+                let taken = items.len() as u64;
+                let worker = ctx.states[victim].lock().remove(&key);
+                match worker {
+                    Some(mut worker) => {
+                        for qf in items {
+                            process_frame(ctx, &mut worker, qf);
+                            // Home arrivals are fresh; the stolen batch is
+                            // the victim's old backlog. Serving the home
+                            // queue dry between stolen frames keeps this
+                            // shard's own decision latency flat no matter
+                            // how expensive the stolen work is.
+                            while matches!(
+                                serve_own(ctx),
+                                GuardedPop::Item(..) | GuardedPop::LaneFinished(_)
+                            ) {}
+                        }
+                        let weight = lane_weight_update(ctx, &worker);
+                        ctx.states[victim].lock().insert(key, worker);
+                        ctx.queues[victim].complete(key, weight);
+                    }
+                    None => {
+                        // Unreachable by protocol; release reservations and
+                        // the busy claim rather than wedging the lane.
+                        ctx.inflight.fetch_sub(items.len(), Ordering::AcqRel);
+                        ctx.queues[victim].complete(key, None);
+                    }
+                }
+                ctx.sched.stolen.fetch_add(taken, Ordering::Relaxed);
+                return true;
+            }
+            Steal::Contended => {
+                ctx.sched.steal_fail.fetch_add(1, Ordering::Relaxed);
+            }
+            Steal::Empty => {}
+        }
+    }
+    false
+}
+
+/// One shard's worker loop: drain the home queue by weighted priority;
+/// when it runs dry, sweep the neighbours for a stolen batch; only then
+/// sleep. Exits when the home queue reports shutdown-and-drained.
+fn shard_loop(ctx: &ShardCtx) {
+    loop {
+        match serve_own(ctx) {
+            GuardedPop::Item(..) | GuardedPop::LaneFinished(_) => {}
+            GuardedPop::Shutdown => return,
+            GuardedPop::Empty => {
+                if ctx.work_stealing && steal_round(ctx) {
+                    continue;
+                }
+                ctx.queues[ctx.me].wait_for_work();
             }
         }
     }

@@ -72,35 +72,46 @@ fn single_stream_fleet_matches_run_live_analysis() {
         let live = run_live_analysis(&encoded, &mut live_selector, oracle, &LiveConfig::default())
             .expect("live run");
 
-        // Queues sized past the whole stream: nothing can shed, so every
-        // counter must match the live pipeline exactly.
-        let fleet = Fleet::new(FleetConfig {
-            shards: 1,
-            queue_capacity: 256,
-            global_frame_budget: 512,
-            max_streams: 4,
-        });
-        let fleet_selector = make();
-        let id = fleet
-            .join(
-                &fleet_selector,
-                StreamConfig::new(label, encoded.resolution(), encoded.quality()),
-            )
-            .expect("join");
-        feed_lossless(&fleet, id, &encoded);
-        let report = fleet.shutdown();
-        let s = &report.snapshot.streams[0];
+        // Both scheduler configurations must be bit-equivalent to the live
+        // pipeline: thread-per-shard round robin, and the work-stealing /
+        // priority-lane runtime (on a single shard its stealing loop never
+        // finds a victim, and the lane-weight updates must not perturb a
+        // lone stream's processing order).
+        for stealing in [false, true] {
+            // Queues sized past the whole stream: nothing can shed, so
+            // every counter must match the live pipeline exactly.
+            let fleet = Fleet::new(FleetConfig {
+                shards: 1,
+                queue_capacity: 256,
+                global_frame_budget: 512,
+                max_streams: 4,
+                work_stealing: stealing,
+                priority_lanes: stealing,
+            });
+            let fleet_selector = make();
+            let id = fleet
+                .join(
+                    &fleet_selector,
+                    StreamConfig::new(label, encoded.resolution(), encoded.quality()),
+                )
+                .expect("join");
+            feed_lossless(&fleet, id, &encoded);
+            let report = fleet.shutdown();
+            let s = &report.snapshot.streams[0];
 
-        assert_eq!(s.kept, live.report.delivered, "{label}: kept != delivered");
-        assert_eq!(s.dropped, live.report.dropped, "{label}: dropped diverged");
-        assert_eq!(s.failed, live.report.failed, "{label}: failed diverged");
-        assert_eq!(s.shed, 0, "{label}: lossless feeder must not shed");
-        assert_eq!(
-            s.processed as usize,
-            encoded.frame_count(),
-            "{label}: every frame decided"
-        );
-        assert!(s.done, "{label}: stream flushed at shutdown");
+            let label = format!("{label} (stealing={stealing})");
+            assert_eq!(s.kept, live.report.delivered, "{label}: kept != delivered");
+            assert_eq!(s.dropped, live.report.dropped, "{label}: dropped diverged");
+            assert_eq!(s.failed, live.report.failed, "{label}: failed diverged");
+            assert_eq!(s.shed, 0, "{label}: lossless feeder must not shed");
+            assert_eq!(
+                s.processed as usize,
+                encoded.frame_count(),
+                "{label}: every frame decided"
+            );
+            assert!(s.done, "{label}: stream flushed at shutdown");
+            assert_eq!(report.snapshot.stolen, 0, "{label}: no victim on one shard");
+        }
     }
 }
 
@@ -114,6 +125,7 @@ fn sixteen_streams_on_a_fixed_pool() {
         queue_capacity: 8,
         global_frame_budget: 64,
         max_streams: 32,
+        ..FleetConfig::default()
     });
     let datasets = DatasetId::ALL;
     let kept_total = Arc::new(AtomicU64::new(0));
@@ -178,6 +190,7 @@ fn overload_sheds_and_accounts_separately() {
         queue_capacity: 2,
         global_frame_budget: 4,
         max_streams: 8,
+        ..FleetConfig::default()
     });
     let encoded = encoded_jackson(80, 20, 60);
     let id = fleet
@@ -224,6 +237,7 @@ fn control_plane_errors() {
         queue_capacity: 4,
         global_frame_budget: 8,
         max_streams: 1,
+        ..FleetConfig::default()
     });
     let encoded = encoded_jackson(10, 5, 60);
     let cfg = StreamConfig::new("only", encoded.resolution(), encoded.quality());
@@ -273,6 +287,7 @@ fn dropping_a_fleet_joins_its_workers() {
         queue_capacity: 4,
         global_frame_budget: 8,
         max_streams: 2,
+        ..FleetConfig::default()
     });
     let id = fleet
         .join(
@@ -302,6 +317,7 @@ fn adaptive_stream_hits_target_rate_online() {
         queue_capacity: 16,
         global_frame_budget: 64,
         max_streams: 4,
+        ..FleetConfig::default()
     });
     let selector = MseSelector::mse(Budget::TargetRate(target));
     let id = fleet

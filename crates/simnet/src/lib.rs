@@ -32,6 +32,6 @@ pub use calibrate::{measure_secs, CostProfile};
 pub use des::Simulator;
 pub use live::{run_live, LiveItem, LiveReport, LiveStage, StageResult};
 pub use pipeline::{ItemResult, Pipeline, PipelineReport, StageSpec, StepWork};
-pub use shard::{Popped, PushOutcome, ShardQueue};
+pub use shard::{GuardedPop, Popped, PushOutcome, ShardQueue, Steal, MAX_LANE_WEIGHT};
 pub use time::SimTime;
 pub use topology::{Link, Node, ThreeTier};

@@ -11,7 +11,11 @@
 //! re-implementation.
 //!
 //! The facade API is the intersection the runtime needs:
-//! * `Mutex`/`RwLock` with non-poisoning `lock()`/`read()`/`write()`;
+//! * `Mutex`/`RwLock` with non-poisoning `lock()`/`read()`/`write()`, and
+//!   `Mutex::try_lock() -> Option<guard>` — the work-stealing scheduler's
+//!   owner-wins protocol rests on `try_lock` being instrumented too, so
+//!   the explorer schedules around a failed acquisition exactly like a
+//!   successful one;
 //! * `Condvar::wait(guard) -> guard` (consuming style, no poison result);
 //! * `atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering}`;
 //! * `thread::{spawn, JoinHandle, yield_now}`.

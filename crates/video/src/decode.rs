@@ -57,6 +57,7 @@ impl From<ReadBitsError> for DecodeError {
 #[derive(Debug)]
 pub struct Decoder {
     resolution: Resolution,
+    quality: u8,
     luma_q: QuantTable,
     chroma_q: QuantTable,
     reference: Option<Frame>,
@@ -71,10 +72,21 @@ impl Decoder {
     pub fn new(resolution: Resolution, quality: u8) -> Self {
         Self {
             resolution,
+            quality,
             luma_q: QuantTable::luma(quality),
             chroma_q: QuantTable::chroma(quality),
             reference: None,
         }
+    }
+
+    /// The stream resolution this decoder was built for.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// The encode quality this decoder was built for.
+    pub fn quality(&self) -> u8 {
+        self.quality
     }
 
     /// Decodes the next frame in stream order.

@@ -317,6 +317,23 @@ fn f() {
     }
 
     #[test]
+    fn new_scheduler_files_are_in_no_std_sync_scope() {
+        // The work-stealing scheduler's satellite modules must stay on
+        // the sieve_simnet::sync facade, or the model checker silently
+        // loses sight of their locks.
+        for path in [
+            "crates/fleet/src/scheduler.rs",
+            "crates/fleet/src/priority.rs",
+            "crates/fleet/src/pool.rs",
+            "crates/fleet/src/metrics.rs",
+        ] {
+            let f = check(path, "use std::sync::Mutex;\n");
+            assert_eq!(f.len(), 1, "{path}: {f:?}");
+            assert_eq!(f[0].rule, "no-std-sync", "{path}");
+        }
+    }
+
+    #[test]
     fn wall_clock_flagged_in_simulator() {
         let f = check(
             "crates/simnet/src/des.rs",

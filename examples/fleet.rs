@@ -90,6 +90,7 @@ fn main() {
         queue_capacity: 8,
         global_frame_budget: 64,
         max_streams: n.max(16),
+        ..FleetConfig::default()
     });
     println!(
         "fleet: {n} streams on {} shards, {} frames/stream at {PACE}x real \
