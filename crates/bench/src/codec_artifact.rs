@@ -1,0 +1,383 @@
+//! The `BENCH_codec.json` schema: serialized types plus a stability
+//! validator.
+//!
+//! The codec artifact tracks the raw-speed trajectory of the codec hot
+//! loops PR-over-PR: every point carries a scalar column (the kernel
+//! dispatcher pinned to its portable tier) next to the SIMD column from
+//! the same process, and the encode point additionally carries a
+//! 1-thread-vs-N-thread column for the GOP-parallel pipeline. Since both
+//! columns of each pair are measured back to back on the same machine,
+//! the in-artifact ratios are meaningful even though absolute numbers are
+//! machine-dependent. The encode point also pins a **seed baseline** — the
+//! throughput of the growth-seed encoder measured once on the same scene
+//! and machine — and quotes the headline `speedup_total` against it, so
+//! the artifact tracks cumulative progress, not just the current build's
+//! internal tier ratio. [`validate`] asserts the exact key sets and that
+//! every ratio is a real positive number; the `codec_bench` binary
+//! validates what it is about to write, and a unit test validates (and
+//! pins the headline speedup of) the committed artifact at the repository
+//! root, so a schema regression fails `cargo test` before it lands.
+
+use serde::Serialize;
+
+/// One micro-kernel's scalar-vs-SIMD timing pair.
+#[derive(Debug, Serialize)]
+pub struct KernelPoint {
+    /// Kernel name (`sad16`, `dct8_forward`, ...).
+    pub name: String,
+    /// Timing samples per column.
+    pub samples: usize,
+    /// Median scalar iteration time, nanoseconds.
+    pub scalar_median_ns: f64,
+    /// Median absolute deviation of the scalar column, nanoseconds.
+    pub scalar_mad_ns: f64,
+    /// Median dispatched (SIMD) iteration time, nanoseconds.
+    pub simd_median_ns: f64,
+    /// Median absolute deviation of the SIMD column, nanoseconds.
+    pub simd_mad_ns: f64,
+    /// `scalar_median_ns / simd_median_ns`.
+    pub speedup: f64,
+}
+
+/// The whole-pipeline encode point: scalar vs SIMD vs SIMD + GOP-parallel.
+#[derive(Debug, Serialize)]
+pub struct EncodePoint {
+    /// Timing samples per column.
+    pub samples: usize,
+    /// Single-thread throughput of the growth-seed encoder (the commit
+    /// this optimization PR started from) on the same scene, measured once
+    /// on the machine that produced the first artifact and carried forward
+    /// by `codec_bench` on regeneration. This is the fixed denominator of
+    /// the headline speedup; pass `--seed-fps` to re-pin it after
+    /// re-measuring the seed on a different machine.
+    pub seed_1t_fps: f64,
+    /// Scalar-tier single-thread throughput of the *current* encoder,
+    /// frames/second (the dispatcher pinned to its portable tier).
+    pub scalar_1t_fps: f64,
+    /// SIMD single-thread throughput, frames/second.
+    pub simd_1t_fps: f64,
+    /// SIMD GOP-parallel throughput at `workers` threads, frames/second.
+    pub simd_nt_fps: f64,
+    /// Worker threads used for the N-thread column.
+    pub workers: usize,
+    /// `simd_1t_fps / scalar_1t_fps` — the vectorization win alone, with
+    /// the structural optimizations held equal.
+    pub speedup_simd: f64,
+    /// `simd_nt_fps / seed_1t_fps` — the headline: SIMD, the structural
+    /// hot-loop work, and GOP-parallelism over the seed encoder.
+    pub speedup_total: f64,
+}
+
+/// The whole-pipeline decode point (the decoder has no parallel path; the
+/// batch decoder is single-threaded by design).
+#[derive(Debug, Serialize)]
+pub struct DecodePoint {
+    /// Timing samples per column.
+    pub samples: usize,
+    /// Scalar-tier throughput, frames/second.
+    pub scalar_fps: f64,
+    /// SIMD throughput, frames/second.
+    pub simd_fps: f64,
+    /// `simd_fps / scalar_fps`.
+    pub speedup: f64,
+}
+
+/// The whole artifact written to `BENCH_codec.json`.
+#[derive(Debug, Serialize)]
+pub struct CodecArtifact {
+    /// Always `"codec"`.
+    pub benchmark: String,
+    /// The dispatcher tier the SIMD columns ran at (`"sse2"`/`"avx2"`;
+    /// `"scalar"` would mean the host has no usable SIMD and the ratios
+    /// are all ~1).
+    pub kernel_level: String,
+    /// Test content width in luma samples.
+    pub width: u32,
+    /// Test content height in luma samples.
+    pub height: u32,
+    /// Frames in the encode/decode test sequence.
+    pub frames: usize,
+    /// Micro-kernel sweep.
+    pub kernels: Vec<KernelPoint>,
+    /// Whole-pipeline encode point.
+    pub encode: EncodePoint,
+    /// Whole-pipeline decode point.
+    pub decode: DecodePoint,
+}
+
+const ARTIFACT_KEYS: &[&str] = &[
+    "benchmark",
+    "kernel_level",
+    "width",
+    "height",
+    "frames",
+    "kernels",
+    "encode",
+    "decode",
+];
+const KERNEL_KEYS: &[&str] = &[
+    "name",
+    "samples",
+    "scalar_median_ns",
+    "scalar_mad_ns",
+    "simd_median_ns",
+    "simd_mad_ns",
+    "speedup",
+];
+const ENCODE_KEYS: &[&str] = &[
+    "samples",
+    "seed_1t_fps",
+    "scalar_1t_fps",
+    "simd_1t_fps",
+    "simd_nt_fps",
+    "workers",
+    "speedup_simd",
+    "speedup_total",
+];
+const DECODE_KEYS: &[&str] = &["samples", "scalar_fps", "simd_fps", "speedup"];
+
+/// Kernels every artifact must sweep, in this order (the five hot loops:
+/// SAD, forward/inverse DCT, quantize, SSE for MSE, and the 2x2 box
+/// average behind both the lookahead and SIFT downsampling).
+pub const REQUIRED_KERNELS: &[&str] = &[
+    "sad16",
+    "dct8_forward",
+    "dct8_inverse",
+    "quantize64",
+    "sse_u8",
+    "avg2x2_f32",
+];
+
+fn expect_keys(map: &serde::Map, keys: &[&str], what: &str) -> Result<(), String> {
+    let have: Vec<&str> = map.iter().map(|(k, _)| k).collect();
+    if have != keys {
+        return Err(format!("{what}: keys {have:?}, expected exactly {keys:?}"));
+    }
+    Ok(())
+}
+
+fn number_of(map: &serde::Map, key: &str, what: &str) -> Result<f64, String> {
+    match map.get(key) {
+        Some(serde::Value::Number(n)) => Ok(n.as_f64()),
+        Some(v) => Err(format!("{what}.{key}: expected a number, got {}", v.kind())),
+        None => Err(format!("{what}.{key}: missing")),
+    }
+}
+
+fn positive_of(map: &serde::Map, key: &str, what: &str) -> Result<f64, String> {
+    let v = number_of(map, key, what)?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(format!("{what}.{key}: {v} not a positive finite number"));
+    }
+    Ok(v)
+}
+
+/// Extracts the pinned seed baseline from an existing artifact, if `json`
+/// parses as one — how `codec_bench` carries the denominator forward when
+/// regenerating `BENCH_codec.json` on the same machine.
+pub fn seed_baseline_fps(json: &str) -> Option<f64> {
+    validate(json).ok()?;
+    let root = serde_json::parse_value_str(json).ok()?;
+    match root
+        .as_object()?
+        .get("encode")?
+        .as_object()?
+        .get("seed_1t_fps")
+    {
+        Some(serde::Value::Number(n)) => Some(n.as_f64()),
+        _ => None,
+    }
+}
+
+/// Asserts the artifact's schema stability; see the module docs. `json`
+/// is the full text of `BENCH_codec.json`.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated schema rule.
+pub fn validate(json: &str) -> Result<(), String> {
+    let root = serde_json::parse_value_str(json).map_err(|e| format!("unparseable JSON: {e}"))?;
+    let root = root
+        .as_object()
+        .ok_or_else(|| "root: expected an object".to_string())?;
+    expect_keys(root, ARTIFACT_KEYS, "root")?;
+    if root.get("benchmark").and_then(serde::Value::as_str) != Some("codec") {
+        return Err("root.benchmark: expected \"codec\"".to_string());
+    }
+    match root.get("kernel_level").and_then(serde::Value::as_str) {
+        Some("scalar" | "sse2" | "avx2") => {}
+        other => return Err(format!("root.kernel_level: unknown tier {other:?}")),
+    }
+    positive_of(root, "width", "root")?;
+    positive_of(root, "height", "root")?;
+    positive_of(root, "frames", "root")?;
+    let kernels = root
+        .get("kernels")
+        .and_then(serde::Value::as_array)
+        .ok_or_else(|| "root.kernels: expected an array".to_string())?;
+    let mut names = Vec::new();
+    for (i, point) in kernels.iter().enumerate() {
+        let what = format!("kernels[{i}]");
+        let point = point
+            .as_object()
+            .ok_or_else(|| format!("{what}: expected an object"))?;
+        expect_keys(point, KERNEL_KEYS, &what)?;
+        let name = point
+            .get("name")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| format!("{what}.name: expected a string"))?;
+        names.push(name.to_string());
+        positive_of(point, "samples", &what)?;
+        positive_of(point, "scalar_median_ns", &what)?;
+        number_of(point, "scalar_mad_ns", &what)?;
+        positive_of(point, "simd_median_ns", &what)?;
+        number_of(point, "simd_mad_ns", &what)?;
+        positive_of(point, "speedup", &what)?;
+    }
+    for required in REQUIRED_KERNELS {
+        if !names.iter().any(|n| n == required) {
+            return Err(format!("kernels: required kernel {required:?} missing"));
+        }
+    }
+    let encode = root
+        .get("encode")
+        .and_then(serde::Value::as_object)
+        .ok_or_else(|| "root.encode: expected an object".to_string())?;
+    expect_keys(encode, ENCODE_KEYS, "encode")?;
+    positive_of(encode, "samples", "encode")?;
+    positive_of(encode, "seed_1t_fps", "encode")?;
+    positive_of(encode, "scalar_1t_fps", "encode")?;
+    positive_of(encode, "simd_1t_fps", "encode")?;
+    positive_of(encode, "simd_nt_fps", "encode")?;
+    positive_of(encode, "workers", "encode")?;
+    positive_of(encode, "speedup_simd", "encode")?;
+    positive_of(encode, "speedup_total", "encode")?;
+    let decode = root
+        .get("decode")
+        .and_then(serde::Value::as_object)
+        .ok_or_else(|| "root.decode: expected an object".to_string())?;
+    expect_keys(decode, DECODE_KEYS, "decode")?;
+    positive_of(decode, "samples", "decode")?;
+    positive_of(decode, "scalar_fps", "decode")?;
+    positive_of(decode, "simd_fps", "decode")?;
+    positive_of(decode, "speedup", "decode")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CodecArtifact {
+        CodecArtifact {
+            benchmark: "codec".into(),
+            kernel_level: "avx2".into(),
+            width: 128,
+            height: 96,
+            frames: 48,
+            kernels: REQUIRED_KERNELS
+                .iter()
+                .map(|&name| KernelPoint {
+                    name: name.into(),
+                    samples: 9,
+                    scalar_median_ns: 400.0,
+                    scalar_mad_ns: 4.0,
+                    simd_median_ns: 50.0,
+                    simd_mad_ns: 1.0,
+                    speedup: 8.0,
+                })
+                .collect(),
+            encode: EncodePoint {
+                samples: 5,
+                seed_1t_fps: 100.0,
+                scalar_1t_fps: 260.0,
+                simd_1t_fps: 450.0,
+                simd_nt_fps: 470.0,
+                workers: 2,
+                speedup_simd: 450.0 / 260.0,
+                speedup_total: 4.7,
+            },
+            decode: DecodePoint {
+                samples: 5,
+                scalar_fps: 500.0,
+                simd_fps: 1200.0,
+                speedup: 2.4,
+            },
+        }
+    }
+
+    fn to_json(a: &CodecArtifact) -> String {
+        serde_json::to_string_pretty(a).expect("serializes")
+    }
+
+    #[test]
+    fn generated_artifact_validates() {
+        validate(&to_json(&sample())).expect("sample artifact must validate");
+    }
+
+    #[test]
+    fn rejects_wrong_benchmark_name() {
+        let mut a = sample();
+        a.benchmark = "fleet_scale".into();
+        assert!(validate(&to_json(&a)).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_kernel_level() {
+        let mut a = sample();
+        a.kernel_level = "neon".into();
+        assert!(validate(&to_json(&a)).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_required_kernel() {
+        let mut a = sample();
+        a.kernels.retain(|k| k.name != "sad16");
+        assert!(validate(&to_json(&a)).is_err());
+    }
+
+    #[test]
+    fn rejects_non_positive_speedup() {
+        let mut a = sample();
+        a.encode.speedup_total = 0.0;
+        assert!(validate(&to_json(&a)).is_err());
+        a.encode.speedup_total = f64::NAN;
+        assert!(validate(&to_json(&a)).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(validate("not json").is_err());
+        assert!(validate("[]").is_err());
+        assert!(validate("{}").is_err());
+    }
+
+    /// The committed artifact at the repository root must match the schema
+    /// this session of the code writes, and must record the PR's headline:
+    /// SIMD + GOP-parallel encode at least 4x over the seed scalar
+    /// single-thread configuration (measured on the machine that produced
+    /// the artifact; both columns come from the same process).
+    #[test]
+    fn committed_artifact_is_schema_stable() {
+        let json = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_codec.json"
+        ))
+        .expect("BENCH_codec.json missing at the repository root");
+        validate(&json).expect("committed artifact must validate");
+        let root = serde_json::parse_value_str(&json).expect("parses");
+        let encode = root
+            .as_object()
+            .and_then(|r| r.get("encode"))
+            .and_then(serde::Value::as_object)
+            .expect("encode object");
+        let total = match encode.get("speedup_total") {
+            Some(serde::Value::Number(n)) => n.as_f64(),
+            _ => panic!("encode.speedup_total must be a number"),
+        };
+        assert!(
+            total >= 4.0,
+            "committed artifact must record >= 4x encode speedup, got {total}"
+        );
+    }
+}

@@ -13,11 +13,13 @@
 //! | `fig5` | Fig 5 — camera→edge and edge→cloud data transfer |
 //! | `ablations` | scenecut/GOP sweeps, object-size↔scenecut, NN split |
 //! | `fleet_scale` | beyond the paper: aggregate edge throughput vs. concurrent stream count on a fixed `sieve-fleet` worker pool |
+//! | `codec_bench` | beyond the paper: raw codec speed — SIMD kernel tier and GOP-parallel encode vs the scalar tier, tracked in `BENCH_codec.json` |
 //!
 //! Run any of them with `cargo run --release -p sieve-bench --bin <name>`.
 //! Pass `--scale small` (default `tiny`) for longer, higher-resolution runs.
 //! Criterion micro-benchmarks live under `benches/`.
 
+pub mod codec_artifact;
 pub mod fleet_artifact;
 pub mod harness;
 pub mod report;

@@ -166,23 +166,30 @@ impl EdgeSession {
         if self.session.done() {
             return EdgeOutcome::Dropped;
         }
-        let (decision, frame) = if self.full_decode {
+        if self.full_decode {
             // Decode unconditionally: P-frames chain, so the decoder state
-            // must advance even through dropped frames.
+            // must advance even through dropped frames. The decoder recycles
+            // its frame buffers across the stream; only kept frames are
+            // cloned out.
             let ef = sieve_video::EncodedFrame {
                 frame_type,
                 data: payload,
             };
-            let frame = match self.stream_decoder.decode_frame(&ef) {
+            let frame = match self.stream_decoder.decode_next(&ef) {
                 Ok(f) => f,
                 Err(_) => return EdgeOutcome::Failed,
             };
             let decision = match self.session.observe(index, &meta, None) {
-                Decision::NeedsDecode => self.session.observe(index, &meta, Some(&frame)),
+                Decision::NeedsDecode => self.session.observe(index, &meta, Some(frame)),
                 d => d,
             };
-            (decision, frame)
-        } else {
+            return if decision == Decision::Keep {
+                EdgeOutcome::Kept(frame.clone())
+            } else {
+                EdgeOutcome::Dropped
+            };
+        }
+        let (decision, frame) = {
             // Metadata path: decide first, decode survivors only.
             let first = self.session.observe(index, &meta, None);
             if first == Decision::Drop {

@@ -51,8 +51,10 @@ pub fn reencode_semantic(
     let mut encoder = Encoder::new(input.resolution(), config);
     let mut output = EncodedVideo::new(input.resolution(), input.fps(), config.quality);
     for ef in input.frames() {
-        let frame = decoder.decode_frame(ef)?;
-        output.push(encoder.encode_frame(&frame));
+        // Steady-state loop: the decoder recycles its frame buffers, so the
+        // decoded view is borrowed (not cloned) into the encoder.
+        let frame = decoder.decode_next(ef)?;
+        output.push(encoder.encode_frame(frame));
     }
     let stats = ReencodeStats {
         frames: input.frame_count(),

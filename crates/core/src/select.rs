@@ -461,14 +461,20 @@ impl<'v> LazyDecoder<'v> {
         if !full_decode {
             return Ok(self.video.decode_iframe_at(index)?);
         }
-        let mut frame = None;
-        while self.next <= index {
-            frame = Some(self.decoder.decode_frame(&self.video.frames()[self.next])?);
+        if self.next > index {
+            return Err(SieveError::selector(format!(
+                "frame {index} requested out of stream order"
+            )));
+        }
+        // Advance through undecoded predecessors without materialising them;
+        // only the requested frame is cloned out of the decoder's buffers.
+        while self.next < index {
+            self.decoder.decode_next(&self.video.frames()[self.next])?;
             self.next += 1;
         }
-        frame.ok_or_else(|| {
-            SieveError::selector(format!("frame {index} requested out of stream order"))
-        })
+        let frame = self.decoder.decode_next(&self.video.frames()[index])?;
+        self.next = index + 1;
+        Ok(frame.clone())
     }
 }
 

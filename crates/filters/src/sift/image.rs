@@ -104,13 +104,25 @@ impl GrayImage {
         let w = (self.width / 2).max(1);
         let h = (self.height / 2).max(1);
         let mut out = vec![0f32; w * h];
-        for y in 0..h {
-            for x in 0..w {
-                let s = self.get(2 * x as i64, 2 * y as i64)
-                    + self.get(2 * x as i64 + 1, 2 * y as i64)
-                    + self.get(2 * x as i64, 2 * y as i64 + 1)
-                    + self.get(2 * x as i64 + 1, 2 * y as i64 + 1);
-                out[y * w + x] = s / 4.0;
+        if self.width >= 2 && self.height >= 2 {
+            // Every 2x2 window is fully interior (2x+1 <= width-1 and
+            // likewise for rows), so each output row is a straight kernel
+            // call over two source rows.
+            for y in 0..h {
+                let top = &self.data[(2 * y) * self.width..][..self.width];
+                let bottom = &self.data[(2 * y + 1) * self.width..][..self.width];
+                sieve_video::kernels::avg2x2_f32(top, bottom, &mut out[y * w..][..w]);
+            }
+        } else {
+            // Degenerate 1-pixel-wide/tall images need edge clamping.
+            for y in 0..h {
+                for x in 0..w {
+                    let s = (self.get(2 * x as i64, 2 * y as i64)
+                        + self.get(2 * x as i64 + 1, 2 * y as i64))
+                        + (self.get(2 * x as i64, 2 * y as i64 + 1)
+                            + self.get(2 * x as i64 + 1, 2 * y as i64 + 1));
+                    out[y * w + x] = s * 0.25;
+                }
             }
         }
         GrayImage::from_data(w, h, out)

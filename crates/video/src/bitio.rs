@@ -32,7 +32,8 @@ impl std::error::Error for ReadBitsError {}
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     buf: Vec<u8>,
-    cur: u8,
+    // At most 7 pending bits, right-aligned in `acc`.
+    acc: u64,
     nbits: u8,
 }
 
@@ -42,6 +43,18 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Creates an empty writer that reuses `buf`'s allocation (the buffer is
+    /// cleared first). Pairs with [`BitWriter::finish`] so the encoder can
+    /// recycle one payload `Vec` across frames.
+    pub fn with_buf(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self {
+            buf,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
     /// Appends the low `count` bits of `value`, MSB first.
     ///
     /// # Panics
@@ -49,16 +62,25 @@ impl BitWriter {
     /// Panics if `count > 64`.
     pub fn write_bits(&mut self, value: u64, count: u8) {
         assert!(count <= 64, "cannot write more than 64 bits at once");
-        for i in (0..count).rev() {
-            let bit = ((value >> i) & 1) as u8;
-            self.cur = (self.cur << 1) | bit;
-            self.nbits += 1;
-            if self.nbits == 8 {
-                self.buf.push(self.cur);
-                self.cur = 0;
-                self.nbits = 0;
-            }
+        if count > 32 {
+            self.write_bits(value >> 32, count - 32);
+            self.write_bits(value & 0xFFFF_FFFF, 32);
+            return;
         }
+        if count == 0 {
+            return;
+        }
+        // count <= 32 and nbits <= 7, so everything fits in the u64
+        // accumulator; drain whole bytes, keep the tail for the next call.
+        let mut acc = (self.acc << count) | (value & ((1u64 << count) - 1));
+        let mut n = self.nbits + count;
+        while n >= 8 {
+            n -= 8;
+            self.buf.push((acc >> n) as u8);
+        }
+        acc &= (1u64 << n) - 1;
+        self.acc = acc;
+        self.nbits = n;
     }
 
     /// Writes a single bit.
@@ -70,8 +92,14 @@ impl BitWriter {
     pub fn write_ue(&mut self, value: u64) {
         let v = value + 1;
         let nbits = 64 - v.leading_zeros() as u8;
-        self.write_bits(0, nbits - 1);
-        self.write_bits(v, nbits);
+        if nbits <= 32 {
+            // One call writes the `nbits - 1` leading zeros and the value:
+            // the zeros are the high bits of the widened field.
+            self.write_bits(v, 2 * nbits - 1);
+        } else {
+            self.write_bits(0, nbits - 1);
+            self.write_bits(v, nbits);
+        }
     }
 
     /// Writes a signed Exp-Golomb code (as in H.264 `se(v)`).
@@ -92,8 +120,7 @@ impl BitWriter {
     /// Pads with zero bits to a byte boundary and returns the bytes.
     pub fn finish(mut self) -> Vec<u8> {
         if self.nbits > 0 {
-            self.cur <<= 8 - self.nbits;
-            self.buf.push(self.cur);
+            self.buf.push((self.acc as u8) << (8 - self.nbits));
         }
         self.buf
     }
@@ -127,12 +154,19 @@ impl<'a> BitReader<'a> {
         if self.pos + count as usize > self.data.len() * 8 {
             return Err(ReadBitsError);
         }
+        // Consume byte-sized chunks: the partial head byte, then whole
+        // bytes, then whatever remains.
         let mut out = 0u64;
-        for _ in 0..count {
+        let mut remaining = count as usize;
+        while remaining > 0 {
             let byte = self.data[self.pos / 8];
-            let bit = (byte >> (7 - (self.pos % 8))) & 1;
-            out = (out << 1) | bit as u64;
-            self.pos += 1;
+            let off = self.pos % 8;
+            let avail = 8 - off;
+            let take = avail.min(remaining);
+            let bits = (byte >> (avail - take)) & (((1u16 << take) - 1) as u8);
+            out = (out << take) | bits as u64;
+            self.pos += take;
+            remaining -= take;
         }
         Ok(out)
     }
@@ -152,13 +186,30 @@ impl<'a> BitReader<'a> {
     ///
     /// Returns [`ReadBitsError`] on truncated input.
     pub fn read_ue(&mut self) -> Result<u64, ReadBitsError> {
-        let mut zeros = 0u8;
-        while !self.read_bit()? {
-            zeros += 1;
-            if zeros > 63 {
+        // Scan for the terminating 1 bit a byte at a time: shift out the
+        // consumed bits of the current byte and count leading zeros in what
+        // remains.
+        let total = self.data.len() * 8;
+        let mut zeros = 0u64;
+        loop {
+            if self.pos >= total || zeros > 63 {
                 return Err(ReadBitsError);
             }
+            let off = self.pos % 8;
+            let avail = (8 - off) as u32;
+            let window = self.data[self.pos / 8] << off;
+            let lz = window.leading_zeros().min(avail);
+            zeros += lz as u64;
+            self.pos += lz as usize;
+            if lz < avail {
+                break;
+            }
         }
+        if zeros > 63 {
+            return Err(ReadBitsError);
+        }
+        self.pos += 1; // the 1 bit itself
+        let zeros = zeros as u8;
         let rest = if zeros == 0 {
             0
         } else {

@@ -91,6 +91,23 @@ impl EncodedVideo {
         video
     }
 
+    /// Encodes an entire frame sequence with up to `workers` threads using
+    /// the GOP-parallel pipeline ([`crate::parallel`]). The resulting
+    /// container is byte-identical to [`EncodedVideo::encode`]'s.
+    pub fn encode_parallel(
+        resolution: Resolution,
+        fps: u32,
+        config: EncoderConfig,
+        frames: &[Frame],
+        workers: usize,
+    ) -> Self {
+        let (frames, _) =
+            crate::parallel::encode_parallel_with_decisions(resolution, config, frames, workers);
+        let mut video = Self::new(resolution, fps, config.quality);
+        video.frames = frames;
+        video
+    }
+
     /// Appends an encoded frame.
     pub fn push(&mut self, frame: EncodedFrame) {
         self.frames.push(frame);
@@ -174,7 +191,9 @@ impl EncodedVideo {
     /// Propagates the first decode failure.
     pub fn decode_all(&self) -> Result<Vec<Frame>, DecodeError> {
         let mut dec = Decoder::new(self.resolution, self.quality);
-        self.frames.iter().map(|ef| dec.decode_frame(ef)).collect()
+        let mut out = Vec::with_capacity(self.frames.len());
+        dec.decode_batch(&self.frames, |_, f| out.push(f.clone()))?;
+        Ok(out)
     }
 
     /// Serializes to the `SEV1` byte format: header, frame table, payloads.

@@ -1,9 +1,13 @@
 //! 8x8 type-II DCT and its inverse, the transform used for both intra blocks
 //! and inter residuals.
 //!
-//! The implementation is the separable floating-point orthonormal DCT; speed
-//! is adequate because the surrounding codec dominates on memory traffic, and
-//! the orthonormal form keeps quantization error analysis simple.
+//! The implementation is the separable floating-point orthonormal DCT,
+//! dispatched through [`crate::kernels`] to an AVX2 path when the host has
+//! one; the orthonormal form keeps quantization error analysis simple. The
+//! inverse rounds ties away from zero (see the kernels module for why that
+//! formula is shared with the SIMD tier).
+
+use crate::kernels;
 
 /// Number of samples along one side of a transform block.
 pub const BLOCK: usize = 8;
@@ -11,78 +15,16 @@ pub const BLOCK: usize = 8;
 /// Number of samples in a transform block.
 pub const BLOCK_LEN: usize = BLOCK * BLOCK;
 
-fn basis() -> &'static [[f32; BLOCK]; BLOCK] {
-    use std::sync::OnceLock;
-    static BASIS: OnceLock<[[f32; BLOCK]; BLOCK]> = OnceLock::new();
-    BASIS.get_or_init(|| {
-        let mut b = [[0f32; BLOCK]; BLOCK];
-        for (k, row) in b.iter_mut().enumerate() {
-            let scale = if k == 0 {
-                (1.0 / BLOCK as f32).sqrt()
-            } else {
-                (2.0 / BLOCK as f32).sqrt()
-            };
-            for (n, v) in row.iter_mut().enumerate() {
-                *v = scale
-                    * ((std::f32::consts::PI / BLOCK as f32) * (n as f32 + 0.5) * k as f32).cos();
-            }
-        }
-        b
-    })
-}
-
 /// Forward 8x8 DCT-II of spatial samples (level-shifted by the caller if
 /// desired). `input` and `output` are row-major 64-element blocks.
 pub fn forward(input: &[i32; BLOCK_LEN], output: &mut [f32; BLOCK_LEN]) {
-    let b = basis();
-    // Rows.
-    let mut tmp = [0f32; BLOCK_LEN];
-    for y in 0..BLOCK {
-        for k in 0..BLOCK {
-            let mut acc = 0f32;
-            for n in 0..BLOCK {
-                acc += input[y * BLOCK + n] as f32 * b[k][n];
-            }
-            tmp[y * BLOCK + k] = acc;
-        }
-    }
-    // Columns.
-    for x in 0..BLOCK {
-        for k in 0..BLOCK {
-            let mut acc = 0f32;
-            for n in 0..BLOCK {
-                acc += tmp[n * BLOCK + x] * b[k][n];
-            }
-            output[k * BLOCK + x] = acc;
-        }
-    }
+    kernels::dct8_forward(input, output);
 }
 
 /// Inverse 8x8 DCT-II (i.e. DCT-III), producing spatial samples rounded to
 /// integers.
 pub fn inverse(input: &[f32; BLOCK_LEN], output: &mut [i32; BLOCK_LEN]) {
-    let b = basis();
-    // Columns.
-    let mut tmp = [0f32; BLOCK_LEN];
-    for x in 0..BLOCK {
-        for n in 0..BLOCK {
-            let mut acc = 0f32;
-            for k in 0..BLOCK {
-                acc += input[k * BLOCK + x] * b[k][n];
-            }
-            tmp[n * BLOCK + x] = acc;
-        }
-    }
-    // Rows.
-    for y in 0..BLOCK {
-        for n in 0..BLOCK {
-            let mut acc = 0f32;
-            for k in 0..BLOCK {
-                acc += tmp[y * BLOCK + k] * b[k][n];
-            }
-            output[y * BLOCK + n] = acc.round() as i32;
-        }
-    }
+    kernels::dct8_inverse(input, output);
 }
 
 #[cfg(test)]

@@ -54,6 +54,11 @@ impl From<ReadBitsError> for DecodeError {
 }
 
 /// Stateful decoder mirroring the [`crate::encode::Encoder`] closed loop.
+///
+/// The decoder owns two frame buffers (the reference and a work frame) and
+/// swaps them after each frame, so the steady-state batch path
+/// ([`Decoder::decode_next`], [`Decoder::decode_batch`]) performs no heap
+/// allocation.
 #[derive(Debug)]
 pub struct Decoder {
     resolution: Resolution,
@@ -61,6 +66,12 @@ pub struct Decoder {
     luma_q: QuantTable,
     chroma_q: QuantTable,
     reference: Option<Frame>,
+    /// Recycled buffer the next frame is decoded into; swaps with
+    /// `reference` after every successful frame.
+    work: Option<Frame>,
+    /// Buffer parked by [`Decoder::reset`] so a reused decoder keeps both
+    /// of its frame allocations across seeks.
+    spare: Option<Frame>,
 }
 
 impl Decoder {
@@ -76,6 +87,8 @@ impl Decoder {
             luma_q: QuantTable::luma(quality),
             chroma_q: QuantTable::chroma(quality),
             reference: None,
+            work: None,
+            spare: None,
         }
     }
 
@@ -96,24 +109,72 @@ impl Decoder {
     /// Returns [`DecodeError::MissingReference`] if a P-frame arrives before
     /// any I-frame, or [`DecodeError::Bitstream`] on malformed payloads.
     pub fn decode_frame(&mut self, ef: &EncodedFrame) -> Result<Frame, DecodeError> {
-        let frame = match ef.frame_type {
-            FrameType::I => decode_i(self.resolution, &self.luma_q, &self.chroma_q, &ef.data)?,
-            FrameType::P => {
-                let reference = self
-                    .reference
-                    .as_ref()
-                    .ok_or(DecodeError::MissingReference)?;
-                decode_p(
-                    self.resolution,
+        Ok(self.decode_next(ef)?.clone())
+    }
+
+    /// Decodes the next frame in stream order into a recycled internal
+    /// buffer and returns a view of it — [`Decoder::decode_frame`] without
+    /// the defensive clone. The returned reference is valid until the next
+    /// decode call; clone it to keep the frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::MissingReference`] if a P-frame arrives before
+    /// any I-frame, or [`DecodeError::Bitstream`] on malformed payloads. On
+    /// error the decoder's reference state is unchanged, as if the frame had
+    /// never been submitted.
+    pub fn decode_next(&mut self, ef: &EncodedFrame) -> Result<&Frame, DecodeError> {
+        let mut frame = self
+            .work
+            .take()
+            .unwrap_or_else(|| Frame::grey(self.resolution));
+        let result = match ef.frame_type {
+            FrameType::I => decode_i_into(&self.luma_q, &self.chroma_q, &ef.data, &mut frame),
+            FrameType::P => match self.reference.as_ref() {
+                None => Err(DecodeError::MissingReference),
+                Some(reference) => decode_p_into(
                     &self.luma_q,
                     &self.chroma_q,
                     reference,
                     &ef.data,
-                )?
-            }
+                    &mut frame,
+                ),
+            },
         };
-        self.reference = Some(frame.clone());
-        Ok(frame)
+        match result {
+            Err(e) => {
+                // Return the (partially written) buffer to the work slot.
+                self.work = Some(frame);
+                Err(e)
+            }
+            Ok(()) => {
+                // The old reference (or the spare parked by `reset` at a
+                // seek boundary) becomes the next work buffer.
+                self.work = self.reference.replace(frame).or_else(|| self.spare.take());
+                Ok(self.reference.as_ref().expect("reference just set"))
+            }
+        }
+    }
+
+    /// Decodes a run of frames in stream order, handing each decoded frame
+    /// to `sink` as `(index, frame)`. All frame buffers are recycled across
+    /// the run — the allocation-free bulk path the analysis pipelines use.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first decode failure.
+    pub fn decode_batch<F>(
+        &mut self,
+        frames: &[EncodedFrame],
+        mut sink: F,
+    ) -> Result<(), DecodeError>
+    where
+        F: FnMut(usize, &Frame),
+    {
+        for (i, ef) in frames.iter().enumerate() {
+            sink(i, self.decode_next(ef)?);
+        }
+        Ok(())
     }
 
     /// Decodes a single I-frame with no decoder state, exactly like a JPEG
@@ -131,27 +192,37 @@ impl Decoder {
     ) -> Result<Frame, DecodeError> {
         let luma_q = QuantTable::luma(quality);
         let chroma_q = QuantTable::chroma(quality);
-        decode_i(resolution, &luma_q, &chroma_q, data)
+        let mut frame = Frame::grey(resolution);
+        decode_i_into(&luma_q, &chroma_q, data, &mut frame)?;
+        Ok(frame)
     }
 
-    /// Resets the reference state (e.g. before seeking to a new GOP).
+    /// Resets the reference state (e.g. before seeking to a new GOP),
+    /// keeping the allocated frame buffers.
     pub fn reset(&mut self) {
-        self.reference = None;
+        if let Some(r) = self.reference.take() {
+            if self.work.is_none() {
+                self.work = Some(r);
+            } else {
+                self.spare = Some(r);
+            }
+        }
     }
 }
 
-fn decode_i(
-    resolution: Resolution,
+/// Decodes an I-frame payload into `frame`. Every sample of every plane is
+/// overwritten, so `frame` may hold arbitrary stale content.
+fn decode_i_into(
     luma_q: &QuantTable,
     chroma_q: &QuantTable,
     data: &[u8],
-) -> Result<Frame, DecodeError> {
+    frame: &mut Frame,
+) -> Result<(), DecodeError> {
     let mut r = BitReader::new(data);
-    let mut frame = Frame::grey(resolution);
     decode_plane_intra(&mut r, luma_q, frame.y_mut())?;
     decode_plane_intra(&mut r, chroma_q, frame.u_mut())?;
     decode_plane_intra(&mut r, chroma_q, frame.v_mut())?;
-    Ok(frame)
+    Ok(())
 }
 
 fn decode_plane_intra(
@@ -180,15 +251,18 @@ fn decode_plane_intra(
     Ok(())
 }
 
-fn decode_p(
-    resolution: Resolution,
+/// Decodes a P-frame payload into `frame` against `reference`. Every sample
+/// is overwritten (each macroblock is either SKIP-copied or fully coded), so
+/// `frame` may hold arbitrary stale content.
+fn decode_p_into(
     luma_q: &QuantTable,
     chroma_q: &QuantTable,
     reference: &Frame,
     data: &[u8],
-) -> Result<Frame, DecodeError> {
+    frame: &mut Frame,
+) -> Result<(), DecodeError> {
     let mut r = BitReader::new(data);
-    let mut frame = Frame::grey(resolution);
+    let resolution = frame.resolution();
     let mb_cols = resolution.mb_cols();
     let mb_rows = resolution.mb_rows();
     for my in 0..mb_rows {
@@ -198,7 +272,7 @@ fn decode_p(
             let coded = r.read_bit()?;
             if !coded {
                 // SKIP macroblock: copy co-located.
-                copy_mb_zero(reference, &mut frame, x, y);
+                copy_mb_zero(reference, frame, x, y);
                 continue;
             }
             let dx = r.read_se()?;
@@ -245,31 +319,18 @@ fn decode_p(
             )?;
         }
     }
-    Ok(frame)
+    Ok(())
 }
 
 fn copy_mb_zero(reference: &Frame, frame: &mut Frame, x: usize, y: usize) {
-    for dy in 0..MB {
-        for dx in 0..MB {
-            let v = reference
-                .y()
-                .sample_clamped((x + dx) as i64, (y + dy) as i64);
-            frame.y_mut().put(x + dx, y + dy, v);
-        }
-    }
+    frame.y_mut().copy_block_from(reference.y(), x, y, MB, 0, 0);
     let (cx, cy) = (x / 2, y / 2);
-    for dy in 0..MB / 2 {
-        for dx in 0..MB / 2 {
-            let u = reference
-                .u()
-                .sample_clamped((cx + dx) as i64, (cy + dy) as i64);
-            let v = reference
-                .v()
-                .sample_clamped((cx + dx) as i64, (cy + dy) as i64);
-            frame.u_mut().put(cx + dx, cy + dy, u);
-            frame.v_mut().put(cx + dx, cy + dy, v);
-        }
-    }
+    frame
+        .u_mut()
+        .copy_block_from(reference.u(), cx, cy, MB / 2, 0, 0);
+    frame
+        .v_mut()
+        .copy_block_from(reference.v(), cx, cy, MB / 2, 0, 0);
 }
 
 fn decode_inter_block(

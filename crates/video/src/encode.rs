@@ -157,91 +157,87 @@ pub struct FrameDecision {
     pub scenecut_fired: bool,
 }
 
-/// Closed-loop encoder. Feed frames in display order with
-/// [`Encoder::encode_frame`]; the encoder maintains its own reconstructed
-/// reference so that encoder and decoder never drift.
+/// The scenecut lookahead: decides I vs P from half-resolution *source*
+/// planes. Both the sequential [`Encoder`] and the GOP-parallel first pass
+/// ([`crate::parallel`]) drive this exact type, so their frame-type
+/// decisions cannot diverge — which is what makes the parallel encoder's
+/// bitstream byte-identical.
+///
+/// The lookahead compares source against source, like x264's lowres
+/// lookahead: comparing against the reconstruction instead would make every
+/// large change echo for several frames while the closed loop's quantization
+/// error settles, polluting the scenecut signal.
 #[derive(Debug)]
-pub struct Encoder {
+pub struct Lookahead {
     config: EncoderConfig,
-    resolution: Resolution,
-    luma_q: QuantTable,
-    chroma_q: QuantTable,
-    reference: Option<Frame>,
-    /// Half-resolution luma of the previous *source* frame. The scenecut
-    /// lookahead compares source against source, like x264's lowres
-    /// lookahead: comparing against the reconstruction instead would make
-    /// every large change echo for several frames while the closed loop's
-    /// quantization error settles, polluting the scenecut signal.
-    lookahead_ref: Option<Plane>,
+    /// Half-resolution luma of the previous source frame.
+    ref_half: Option<Plane>,
+    /// Reused buffer the current frame's half plane is computed into.
+    half_scratch: Plane,
+    /// Buffer parked by [`Lookahead::reset`] so a reused lookahead keeps
+    /// both of its half-plane allocations across streams.
+    spare: Option<Plane>,
     frames_since_i: usize,
-    decisions: Vec<FrameDecision>,
 }
 
-impl Encoder {
-    /// Creates an encoder for frames of `resolution`.
-    pub fn new(resolution: Resolution, config: EncoderConfig) -> Self {
+impl Lookahead {
+    pub fn new(config: EncoderConfig) -> Self {
         Self {
-            luma_q: QuantTable::luma(config.quality),
-            chroma_q: QuantTable::chroma(config.quality),
             config,
-            resolution,
-            reference: None,
-            lookahead_ref: None,
+            ref_half: None,
+            half_scratch: Plane::filled(1, 1, 0),
+            spare: None,
             frames_since_i: 0,
-            decisions: Vec::new(),
         }
     }
 
-    /// The encoder's configuration.
-    pub fn config(&self) -> &EncoderConfig {
-        &self.config
+    /// Decides the type of the next frame in display order and advances the
+    /// lookahead state. Allocation-free once the two half-plane buffers
+    /// exist.
+    pub fn observe(&mut self, frame: &Frame) -> FrameDecision {
+        let w = (frame.y().width() / 2).max(16);
+        let h = (frame.y().height() / 2).max(16);
+        frame.y().resize_box_into(w, h, &mut self.half_scratch);
+        let decision = self.decide(&self.half_scratch);
+        // The current half plane becomes the reference; the old reference
+        // buffer becomes the next frame's scratch.
+        let old = self
+            .ref_half
+            .take()
+            .or_else(|| self.spare.take())
+            .unwrap_or_else(|| Plane::filled(1, 1, 0));
+        self.ref_half = Some(std::mem::replace(&mut self.half_scratch, old));
+        match decision.frame_type {
+            FrameType::I => self.frames_since_i = 0,
+            FrameType::P => self.frames_since_i += 1,
+        }
+        decision
     }
 
-    /// Per-frame decisions made so far (one entry per encoded frame).
-    pub fn decisions(&self) -> &[FrameDecision] {
-        &self.decisions
+    /// Records that the encoder degraded the last observed frame to an
+    /// I-frame (the missing-reference fallback).
+    fn force_i(&mut self) {
+        self.frames_since_i = 0;
     }
 
-    /// Encodes the next frame in display order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `frame`'s resolution differs from the encoder's.
-    pub fn encode_frame(&mut self, frame: &Frame) -> EncodedFrame {
-        assert_eq!(
-            frame.resolution(),
-            self.resolution,
-            "frame resolution changed mid-stream"
-        );
-        let cur_half = lookahead_plane(frame);
-        let (frame_type, mut decision) = self.decide(&cur_half);
-        // `decide` only returns P when a reference exists; if that invariant
-        // is ever violated, degrade to an I-frame rather than panicking.
-        let encoded = match (frame_type, &self.reference) {
-            (FrameType::P, Some(_)) => self.encode_p(frame),
-            (FrameType::P, None) | (FrameType::I, _) => {
-                decision.frame_type = FrameType::I;
-                self.encode_i(frame)
-            }
-        };
-        self.lookahead_ref = Some(cur_half);
-        self.decisions.push(decision);
-        encoded
+    /// Clears stream state, keeping the allocated half-plane buffers.
+    fn reset(&mut self) {
+        if let Some(p) = self.ref_half.take() {
+            self.spare = Some(p);
+        }
+        self.frames_since_i = 0;
     }
 
     /// Decides I vs P for the frame whose half-resolution luma is
     /// `cur_half`, using the GOP limit and the scenecut rule.
-    fn decide(&self, cur_half: &Plane) -> (FrameType, FrameDecision) {
-        let Some(reference) = &self.lookahead_ref else {
-            return (
-                FrameType::I,
-                FrameDecision {
-                    frame_type: FrameType::I,
-                    inter_over_intra: 0.0,
-                    forced_by_gop: true,
-                    scenecut_fired: false,
-                },
-            );
+    fn decide(&self, cur_half: &Plane) -> FrameDecision {
+        let Some(reference) = &self.ref_half else {
+            return FrameDecision {
+                frame_type: FrameType::I,
+                inter_over_intra: 0.0,
+                forced_by_gop: true,
+                scenecut_fired: false,
+            };
         };
         // Distance of the candidate frame from the last I-frame: the frame
         // immediately after a keyframe is at distance 1.
@@ -249,15 +245,12 @@ impl Encoder {
         if dist >= self.config.gop_size {
             // GOP limit: the ratio is still measured for diagnostics.
             let agg = self.frame_motion(cur_half, reference);
-            return (
-                FrameType::I,
-                FrameDecision {
-                    frame_type: FrameType::I,
-                    inter_over_intra: agg.inter_over_intra(),
-                    forced_by_gop: true,
-                    scenecut_fired: false,
-                },
-            );
+            return FrameDecision {
+                frame_type: FrameType::I,
+                inter_over_intra: agg.inter_over_intra(),
+                forced_by_gop: true,
+                scenecut_fired: false,
+            };
         }
         let agg = self.frame_motion(cur_half, reference);
         // The lookahead's intra estimate is raw texture energy; a real
@@ -273,49 +266,182 @@ impl Encoder {
         let bias = base_bias * damp;
         let fired = ratio >= 1.0 - bias;
         let ft = if fired { FrameType::I } else { FrameType::P };
-        (
-            ft,
-            FrameDecision {
-                frame_type: ft,
-                inter_over_intra: ratio,
-                forced_by_gop: false,
-                scenecut_fired: fired,
-            },
-        )
-    }
-
-    /// Scenecut lookahead cost analysis over half-resolution source planes
-    /// (see [`lookahead_plane`]).
-    fn frame_motion(&self, cur_half: &Plane, ref_half: &Plane) -> FrameMotion {
-        let (_, agg) =
-            motion::analyze_frame(cur_half, ref_half, (self.config.search_range / 2).max(4));
-        agg
-    }
-
-    fn encode_i(&mut self, frame: &Frame) -> EncodedFrame {
-        let mut w = BitWriter::new();
-        let mut recon = Frame::grey(self.resolution);
-        encode_plane_intra(frame.y(), &self.luma_q, &mut w, recon.y_mut());
-        encode_plane_intra(frame.u(), &self.chroma_q, &mut w, recon.u_mut());
-        encode_plane_intra(frame.v(), &self.chroma_q, &mut w, recon.v_mut());
-        self.reference = Some(recon);
-        self.frames_since_i = 0;
-        EncodedFrame {
-            frame_type: FrameType::I,
-            data: w.finish(),
+        FrameDecision {
+            frame_type: ft,
+            inter_over_intra: ratio,
+            forced_by_gop: false,
+            scenecut_fired: fired,
         }
     }
 
-    fn encode_p(&mut self, frame: &Frame) -> EncodedFrame {
-        // Caller (`encode_frame`) routes to `encode_i` when no reference
-        // exists; an empty reference here would still produce a valid (if
-        // wasteful) all-intra-predicted P-frame against a grey frame.
+    /// Scenecut lookahead cost analysis over half-resolution source planes.
+    fn frame_motion(&self, cur_half: &Plane, ref_half: &Plane) -> FrameMotion {
+        motion::analyze_frame_agg(cur_half, ref_half, (self.config.search_range / 2).max(4))
+    }
+}
+
+/// Closed-loop encoder. Feed frames in display order with
+/// [`Encoder::encode_frame`]; the encoder maintains its own reconstructed
+/// reference so that encoder and decoder never drift.
+///
+/// The encoder recycles all of its per-frame scratch (the reconstruction
+/// frame, the lookahead's half-resolution planes, and — via
+/// [`Encoder::encode_frame_into`] — the payload buffer), so the steady-state
+/// encode loop performs no heap allocation.
+#[derive(Debug)]
+pub struct Encoder {
+    config: EncoderConfig,
+    resolution: Resolution,
+    luma_q: QuantTable,
+    chroma_q: QuantTable,
+    reference: Option<Frame>,
+    /// Recycled frame buffer the next reconstruction is written into; after
+    /// each frame this swaps with `reference`.
+    recon_scratch: Option<Frame>,
+    /// Frame buffer parked by [`Encoder::reset`] so a reused encoder keeps
+    /// both of its frame allocations across streams.
+    frame_spare: Option<Frame>,
+    lookahead: Lookahead,
+    decisions: Vec<FrameDecision>,
+}
+
+impl Encoder {
+    /// Creates an encoder for frames of `resolution`.
+    pub fn new(resolution: Resolution, config: EncoderConfig) -> Self {
+        Self {
+            luma_q: QuantTable::luma(config.quality),
+            chroma_q: QuantTable::chroma(config.quality),
+            config,
+            resolution,
+            reference: None,
+            recon_scratch: None,
+            frame_spare: None,
+            lookahead: Lookahead::new(config),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The encoder's configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Per-frame decisions made so far (one entry per encoded frame).
+    pub fn decisions(&self) -> &[FrameDecision] {
+        &self.decisions
+    }
+
+    /// Clears stream state (reference, lookahead, decisions) while keeping
+    /// every allocated scratch buffer, so one encoder can be reused across
+    /// independent GOPs or streams of the same resolution.
+    pub fn reset(&mut self) {
+        if let Some(r) = self.reference.take() {
+            if self.recon_scratch.is_none() {
+                self.recon_scratch = Some(r);
+            } else {
+                self.frame_spare = Some(r);
+            }
+        }
+        self.lookahead.reset();
+        self.decisions.clear();
+    }
+
+    /// Encodes the next frame in display order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame`'s resolution differs from the encoder's.
+    pub fn encode_frame(&mut self, frame: &Frame) -> EncodedFrame {
+        let mut out = EncodedFrame {
+            frame_type: FrameType::I,
+            data: Vec::new(),
+        };
+        self.encode_frame_into(frame, &mut out);
+        out
+    }
+
+    /// [`Encoder::encode_frame`] into an existing [`EncodedFrame`], reusing
+    /// its payload buffer — the allocation-free steady-state entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame`'s resolution differs from the encoder's.
+    pub fn encode_frame_into(&mut self, frame: &Frame, out: &mut EncodedFrame) {
+        assert_eq!(
+            frame.resolution(),
+            self.resolution,
+            "frame resolution changed mid-stream"
+        );
+        let mut decision = self.lookahead.observe(frame);
+        let mut w = BitWriter::with_buf(std::mem::take(&mut out.data));
+        // `decide` only returns P when a reference exists; if that invariant
+        // is ever violated, degrade to an I-frame rather than panicking.
+        let frame_type = match (decision.frame_type, &self.reference) {
+            (FrameType::P, Some(_)) => {
+                self.encode_p(frame, &mut w);
+                FrameType::P
+            }
+            (FrameType::P, None) | (FrameType::I, _) => {
+                decision.frame_type = FrameType::I;
+                self.lookahead.force_i();
+                self.encode_i(frame, &mut w);
+                FrameType::I
+            }
+        };
+        out.frame_type = frame_type;
+        out.data = w.finish();
+        self.decisions.push(decision);
+    }
+
+    /// Encodes one frame with an externally decided type, bypassing the
+    /// lookahead — the GOP-parallel second pass, where pass one already
+    /// fixed every frame type. Callers must only force `P` when a reference
+    /// exists (i.e. not as the first frame after a reset).
+    pub(crate) fn encode_forced(
+        &mut self,
+        frame: &Frame,
+        frame_type: FrameType,
+        out: &mut EncodedFrame,
+    ) {
+        let mut w = BitWriter::with_buf(std::mem::take(&mut out.data));
+        match frame_type {
+            FrameType::I => self.encode_i(frame, &mut w),
+            FrameType::P => self.encode_p(frame, &mut w),
+        }
+        out.frame_type = frame_type;
+        out.data = w.finish();
+    }
+
+    fn encode_i(&mut self, frame: &Frame, w: &mut BitWriter) {
+        let mut recon = self
+            .recon_scratch
+            .take()
+            .unwrap_or_else(|| Frame::grey(self.resolution));
+        encode_plane_intra(frame.y(), &self.luma_q, w, recon.y_mut());
+        encode_plane_intra(frame.u(), &self.chroma_q, w, recon.u_mut());
+        encode_plane_intra(frame.v(), &self.chroma_q, w, recon.v_mut());
+        // The fresh reconstruction becomes the reference; the old reference
+        // buffer (or the spare parked by `reset` at a stream boundary) is
+        // recycled for the next frame.
+        self.recon_scratch = self
+            .reference
+            .replace(recon)
+            .or_else(|| self.frame_spare.take());
+    }
+
+    fn encode_p(&mut self, frame: &Frame, w: &mut BitWriter) {
+        // Caller (`encode_frame_into`) routes to `encode_i` when no
+        // reference exists; an empty reference here would still produce a
+        // valid (if wasteful) all-intra-predicted P-frame against a grey
+        // frame.
         let reference = self
             .reference
-            .clone()
+            .take()
             .unwrap_or_else(|| Frame::grey(self.resolution));
-        let mut w = BitWriter::new();
-        let mut recon = Frame::grey(self.resolution);
+        let mut recon = self
+            .recon_scratch
+            .take()
+            .unwrap_or_else(|| Frame::grey(self.resolution));
         let skip_thresh = (self.config.skip_threshold_per_pixel * (MB * MB) as f32) as u32;
 
         let mb_cols = self.resolution.mb_cols();
@@ -339,16 +465,12 @@ impl Encoder {
                     w.write_bit(true);
                     w.write_se(mr.mv.dx as i64);
                     w.write_se(mr.mv.dy as i64);
-                    self.code_inter_mb(frame, &reference, &mut recon, x, y, mr.mv, &mut w);
+                    self.code_inter_mb(frame, &reference, &mut recon, x, y, mr.mv, w);
                 }
             }
         }
         self.reference = Some(recon);
-        self.frames_since_i += 1;
-        EncodedFrame {
-            frame_type: FrameType::P,
-            data: w.finish(),
-        }
+        self.recon_scratch = Some(reference);
     }
 
     /// Codes the residual of one inter macroblock: four 8x8 luma blocks plus
@@ -410,48 +532,23 @@ impl Encoder {
     }
 }
 
-/// Builds the lookahead's half-resolution luma for one source frame, as
-/// x264's lowres lookahead does: 2x2 box downsampling averages sensor noise
-/// down (halving its SAD contribution) while coherent object motion
-/// survives, which is what makes the scenecut threshold separate "new
-/// object" from "noise floor".
-fn lookahead_plane(frame: &Frame) -> Plane {
-    let w = (frame.y().width() / 2).max(16);
-    let h = (frame.y().height() / 2).max(16);
-    frame.y().resize_box(w, h)
-}
-
 /// Copies a motion-compensated macroblock (luma + both chroma planes) from
 /// `reference` into `recon` at `(x, y)` with displacement `mv`.
 fn copy_mb(reference: &Frame, recon: &mut Frame, x: usize, y: usize, mv: MotionVector) {
-    for dy in 0..MB {
-        for dx in 0..MB {
-            let v = reference.y().sample_clamped(
-                x as i64 + dx as i64 + mv.dx as i64,
-                y as i64 + dy as i64 + mv.dy as i64,
-            );
-            recon.y_mut().put(x + dx, y + dy, v);
-        }
-    }
+    recon
+        .y_mut()
+        .copy_block_from(reference.y(), x, y, MB, mv.dx as i64, mv.dy as i64);
     let (cx, cy) = (x / 2, y / 2);
     let cmv = MotionVector {
         dx: mv.dx / 2,
         dy: mv.dy / 2,
     };
-    for dy in 0..MB / 2 {
-        for dx in 0..MB / 2 {
-            let u = reference.u().sample_clamped(
-                cx as i64 + dx as i64 + cmv.dx as i64,
-                cy as i64 + dy as i64 + cmv.dy as i64,
-            );
-            let v = reference.v().sample_clamped(
-                cx as i64 + dx as i64 + cmv.dx as i64,
-                cy as i64 + dy as i64 + cmv.dy as i64,
-            );
-            recon.u_mut().put(cx + dx, cy + dy, u);
-            recon.v_mut().put(cx + dx, cy + dy, v);
-        }
-    }
+    recon
+        .u_mut()
+        .copy_block_from(reference.u(), cx, cy, MB / 2, cmv.dx as i64, cmv.dy as i64);
+    recon
+        .v_mut()
+        .copy_block_from(reference.v(), cx, cy, MB / 2, cmv.dx as i64, cmv.dy as i64);
 }
 
 /// Extracts the motion-compensated prediction for an 8x8 block at block
@@ -465,6 +562,25 @@ pub(crate) fn predict_block8(
     let mut pred = [0i32; 64];
     let x0 = bx * 8;
     let y0 = by * 8;
+    let sx = x0 as i64 + mv.dx as i64;
+    let sy = y0 as i64 + mv.dy as i64;
+    // Fast path: the displaced block is fully inside the reference.
+    if sx >= 0
+        && sy >= 0
+        && sx as usize + 8 <= reference.width()
+        && sy as usize + 8 <= reference.height()
+    {
+        let (sx, sy) = (sx as usize, sy as usize);
+        let w = reference.width();
+        let data = reference.data();
+        for dy in 0..8 {
+            let row = &data[(sy + dy) * w + sx..][..8];
+            for dx in 0..8 {
+                pred[dy * 8 + dx] = row[dx] as i32;
+            }
+        }
+        return pred;
+    }
     for dy in 0..8 {
         for dx in 0..8 {
             pred[dy * 8 + dx] = reference.sample_clamped(

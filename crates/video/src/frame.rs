@@ -168,6 +168,17 @@ impl Plane {
     pub fn get_block8(&self, bx: usize, by: usize, out: &mut [i32; 64]) {
         let x0 = bx * 8;
         let y0 = by * 8;
+        // Fast path: fully interior block — straight row reads the compiler
+        // can vectorize, no per-sample clamping.
+        if x0 + 8 <= self.width && y0 + 8 <= self.height {
+            for dy in 0..8 {
+                let row = &self.data[(y0 + dy) * self.width + x0..][..8];
+                for dx in 0..8 {
+                    out[dy * 8 + dx] = row[dx] as i32;
+                }
+            }
+            return;
+        }
         for dy in 0..8 {
             for dx in 0..8 {
                 out[dy * 8 + dx] = self.sample_clamped((x0 + dx) as i64, (y0 + dy) as i64) as i32;
@@ -180,9 +191,56 @@ impl Plane {
     pub fn put_block8(&mut self, bx: usize, by: usize, block: &[i32; 64]) {
         let x0 = bx * 8;
         let y0 = by * 8;
+        // Fast path: fully interior block — straight row writes.
+        if x0 + 8 <= self.width && y0 + 8 <= self.height {
+            for dy in 0..8 {
+                let row = &mut self.data[(y0 + dy) * self.width + x0..][..8];
+                for dx in 0..8 {
+                    row[dx] = block[dy * 8 + dx].clamp(0, 255) as u8;
+                }
+            }
+            return;
+        }
         for dy in 0..8 {
             for dx in 0..8 {
                 self.put(x0 + dx, y0 + dy, block[dy * 8 + dx].clamp(0, 255) as u8);
+            }
+        }
+    }
+
+    /// Copies a `size`x`size` block from `src` displaced by `(mvx, mvy)` into
+    /// this plane at `(x, y)`, clamping reads at `src`'s edges — the
+    /// motion-compensated SKIP copy. Interior copies are straight `memcpy`
+    /// rows.
+    pub fn copy_block_from(
+        &mut self,
+        src: &Plane,
+        x: usize,
+        y: usize,
+        size: usize,
+        mvx: i64,
+        mvy: i64,
+    ) {
+        let sx = x as i64 + mvx;
+        let sy = y as i64 + mvy;
+        if x + size <= self.width
+            && y + size <= self.height
+            && sx >= 0
+            && sy >= 0
+            && sx as usize + size <= src.width
+            && sy as usize + size <= src.height
+        {
+            let (sx, sy) = (sx as usize, sy as usize);
+            for dy in 0..size {
+                let srow = &src.data[(sy + dy) * src.width + sx..][..size];
+                self.data[(y + dy) * self.width + x..][..size].copy_from_slice(srow);
+            }
+            return;
+        }
+        for dy in 0..size {
+            for dx in 0..size {
+                let v = src.sample_clamped(x as i64 + dx as i64 + mvx, y as i64 + dy as i64 + mvy);
+                self.put(x + dx, y + dy, v);
             }
         }
     }
@@ -197,8 +255,20 @@ impl Plane {
 
     /// Downscales by simple box filtering to `(new_w, new_h)`.
     pub fn resize_box(&self, new_w: usize, new_h: usize) -> Plane {
+        let mut out = Plane::filled(1, 1, 0);
+        self.resize_box_into(new_w, new_h, &mut out);
+        out
+    }
+
+    /// [`Plane::resize_box`] into an existing plane, reusing its buffer —
+    /// the encoder's lookahead calls this once per frame and must not
+    /// allocate in steady state.
+    pub fn resize_box_into(&self, new_w: usize, new_h: usize, out: &mut Plane) {
         assert!(new_w > 0 && new_h > 0, "resize target must be non-zero");
-        let mut out = vec![0u8; new_w * new_h];
+        out.width = new_w;
+        out.height = new_h;
+        out.data.clear();
+        out.data.resize(new_w * new_h, 0);
         for oy in 0..new_h {
             let sy0 = oy * self.height / new_h;
             let sy1 = (((oy + 1) * self.height).div_ceil(new_h)).max(sy0 + 1);
@@ -213,10 +283,9 @@ impl Plane {
                         n += 1;
                     }
                 }
-                out[oy * new_w + ox] = acc.checked_div(n).unwrap_or(0) as u8;
+                out.data[oy * new_w + ox] = acc.checked_div(n).unwrap_or(0) as u8;
             }
         }
-        Plane::from_data(new_w, new_h, out)
     }
 }
 

@@ -37,7 +37,9 @@ pub mod decode;
 pub mod encode;
 pub mod entropy;
 pub mod frame;
+pub mod kernels;
 pub mod motion;
+pub mod parallel;
 pub mod quality;
 pub mod quant;
 pub mod stats;
@@ -47,6 +49,7 @@ pub use decode::{DecodeError, Decoder};
 pub use encode::{EncodedFrame, Encoder, EncoderConfig, FrameDecision, FrameType, SCENECUT_MAX};
 pub use frame::{Frame, Plane, Resolution};
 pub use motion::{FrameMotion, MotionVector};
+pub use parallel::encode_parallel_with_decisions;
 pub use quality::{ssim_luma, ssim_plane};
 pub use quant::QuantTable;
 pub use stats::BitstreamStats;

@@ -7,6 +7,7 @@
 //! decision that makes the encoder "semantic" in SiEVE's sense.
 
 use crate::frame::Plane;
+use crate::kernels;
 
 /// Side length of a macroblock in luma samples.
 pub const MB: usize = 16;
@@ -37,49 +38,66 @@ pub struct MotionResult {
     pub zero_sad: u32,
 }
 
+/// Materializes the `MB`x`MB` block of `p` whose top-left corner is at the
+/// (possibly out-of-bounds) position `(ox, oy)` into `out`, replicating
+/// edge samples exactly like [`Plane::sample_clamped`] would.
+///
+/// Each row splits into a left-clamped run, an interior `memcpy`, and a
+/// right-clamped run, so an edge block costs a handful of fills instead of
+/// 256 per-sample clamps — after which the SIMD SAD kernel applies as-is.
+fn fill_mb_clamped(p: &Plane, ox: i64, oy: i64, out: &mut [u8; MB * MB]) {
+    let (w, h) = (p.width(), p.height());
+    let data = p.data();
+    // Column split: dx in [0, n0) clamps left, [n0, n1) is interior,
+    // [n1, MB) clamps right. Either run may be empty or cover the block.
+    let n0 = (-ox).clamp(0, MB as i64) as usize;
+    let n1 = (w as i64 - ox).clamp(n0 as i64, MB as i64) as usize;
+    for dy in 0..MB {
+        let sy = (oy + dy as i64).clamp(0, h as i64 - 1) as usize;
+        let row = &data[sy * w..][..w];
+        let dst = &mut out[dy * MB..][..MB];
+        dst[..n0].fill(row[0]);
+        if n1 > n0 {
+            dst[n0..n1].copy_from_slice(&row[(ox + n0 as i64) as usize..][..n1 - n0]);
+        }
+        dst[n1..].fill(row[w - 1]);
+    }
+}
+
 /// Sum of absolute differences between the `MB`x`MB` block of `cur` at
 /// `(x, y)` and the block of `reference` displaced by `mv`, with edge
 /// clamping on the reference.
 pub fn sad_mb(cur: &Plane, reference: &Plane, x: usize, y: usize, mv: MotionVector) -> u32 {
     let (w, h) = (cur.width(), cur.height());
+    let rw = reference.width();
     let rx = x as i64 + mv.dx as i64;
     let ry = y as i64 + mv.dy as i64;
     // Fast path: both blocks fully inside their planes — straight slice
-    // arithmetic, no per-sample clamping. This is the encoder's hottest
-    // loop by far.
+    // arithmetic with each plane's own stride, no per-sample clamping and
+    // no requirement that the planes share dimensions. This is the
+    // encoder's hottest loop by far.
     if x + MB <= w
         && y + MB <= h
         && rx >= 0
         && ry >= 0
-        && rx as usize + MB <= reference.width()
+        && rx as usize + MB <= rw
         && ry as usize + MB <= reference.height()
-        && reference.width() == w
     {
-        let cdata = cur.data();
-        let rdata = reference.data();
         let (rx, ry) = (rx as usize, ry as usize);
-        let mut acc = 0u32;
-        for dy in 0..MB {
-            let crow = &cdata[(y + dy) * w + x..(y + dy) * w + x + MB];
-            let rrow = &rdata[(ry + dy) * w + rx..(ry + dy) * w + rx + MB];
-            for (c, r) in crow.iter().zip(rrow) {
-                acc += (*c as i32 - *r as i32).unsigned_abs();
-            }
-        }
-        return acc;
+        return kernels::sad16(
+            &cur.data()[y * w + x..],
+            w,
+            &reference.data()[ry * rw + rx..],
+            rw,
+        );
     }
-    let mut acc = 0u32;
-    for dy in 0..MB {
-        for dx in 0..MB {
-            let c = cur.sample_clamped((x + dx) as i64, (y + dy) as i64) as i32;
-            let r = reference.sample_clamped(
-                x as i64 + dx as i64 + mv.dx as i64,
-                y as i64 + dy as i64 + mv.dy as i64,
-            ) as i32;
-            acc += (c - r).unsigned_abs();
-        }
-    }
-    acc
+    // Edge path: replicate the clamped blocks into stack buffers and run
+    // the same kernel. Bit-identical to per-sample clamping.
+    let mut cbuf = [0u8; MB * MB];
+    let mut rbuf = [0u8; MB * MB];
+    fill_mb_clamped(cur, x as i64, y as i64, &mut cbuf);
+    fill_mb_clamped(reference, rx, ry, &mut rbuf);
+    kernels::sad16(&cbuf, MB, &rbuf, MB)
 }
 
 /// Intra texture cost of the macroblock at `(x, y)`: sum of absolute
@@ -87,21 +105,19 @@ pub fn sad_mb(cur: &Plane, reference: &Plane, x: usize, y: usize, mv: MotionVect
 /// the cost of intra-coding the block, and is what the scenecut rule
 /// compares inter cost against.
 pub fn intra_cost_mb(cur: &Plane, x: usize, y: usize) -> u32 {
-    let mut sum = 0u32;
-    for dy in 0..MB {
-        for dx in 0..MB {
-            sum += cur.sample_clamped((x + dx) as i64, (y + dy) as i64) as u32;
-        }
+    let (w, h) = (cur.width(), cur.height());
+    // Fast path: fully interior block — `psadbw`-backed sum and deviation.
+    if x + MB <= w && y + MB <= h {
+        let block = &cur.data()[y * w + x..];
+        let mean = kernels::sum16(block, w) / (MB * MB) as u32;
+        return kernels::sad16_const(block, w, mean as u8);
     }
-    let mean = (sum / (MB * MB) as u32) as i32;
-    let mut acc = 0u32;
-    for dy in 0..MB {
-        for dx in 0..MB {
-            let c = cur.sample_clamped((x + dx) as i64, (y + dy) as i64) as i32;
-            acc += (c - mean).unsigned_abs();
-        }
-    }
-    acc
+    // Edge path: materialize the clamped block once, then use the same
+    // kernels as the interior path.
+    let mut buf = [0u8; MB * MB];
+    fill_mb_clamped(cur, x as i64, y as i64, &mut buf);
+    let mean = kernels::sum16(&buf, MB) / (MB * MB) as u32;
+    kernels::sad16_const(&buf, MB, mean as u8)
 }
 
 /// Three-step search for the best motion vector of the macroblock at
@@ -117,7 +133,36 @@ pub fn three_step_search(
     y: usize,
     range: u16,
 ) -> MotionResult {
-    let zero_sad = sad_mb(cur, reference, x, y, MotionVector::ZERO);
+    // The current block is the same for every candidate: hoist it out of
+    // the search loop (materializing it once if it overhangs the plane).
+    let (w, h) = (cur.width(), cur.height());
+    let mut cbuf = [0u8; MB * MB];
+    let (cblock, cstride) = if x + MB <= w && y + MB <= h {
+        (&cur.data()[y * w + x..], w)
+    } else {
+        fill_mb_clamped(cur, x as i64, y as i64, &mut cbuf);
+        (&cbuf[..], MB)
+    };
+    let rw = reference.width();
+    let rh = reference.height();
+    let rdata = reference.data();
+    let eval = |mv: MotionVector| -> u32 {
+        let rx = x as i64 + mv.dx as i64;
+        let ry = y as i64 + mv.dy as i64;
+        if rx >= 0 && ry >= 0 && rx as usize + MB <= rw && ry as usize + MB <= rh {
+            kernels::sad16(
+                cblock,
+                cstride,
+                &rdata[ry as usize * rw + rx as usize..],
+                rw,
+            )
+        } else {
+            let mut rbuf = [0u8; MB * MB];
+            fill_mb_clamped(reference, rx, ry, &mut rbuf);
+            kernels::sad16(cblock, cstride, &rbuf, MB)
+        }
+    };
+    let zero_sad = eval(MotionVector::ZERO);
     let mut best = MotionVector::ZERO;
     let mut best_sad = zero_sad;
     let mut step = range.max(1).next_power_of_two() as i16 / 2;
@@ -138,7 +183,7 @@ pub fn three_step_search(
                 if cand == center {
                     continue;
                 }
-                let s = sad_mb(cur, reference, x, y, cand);
+                let s = eval(cand);
                 if s < best_sad {
                     best_sad = s;
                     best = cand;
@@ -205,6 +250,26 @@ pub fn analyze_frame(
         }
     }
     (results, agg)
+}
+
+/// Like [`analyze_frame`] but returns only the frame aggregate, with no
+/// per-macroblock allocation — the encoder's lookahead only needs the
+/// aggregate, and it runs once per frame.
+pub fn analyze_frame_agg(cur: &Plane, reference: &Plane, range: u16) -> FrameMotion {
+    let mb_cols = cur.width().div_ceil(MB);
+    let mb_rows = cur.height().div_ceil(MB);
+    let mut agg = FrameMotion::default();
+    for my in 0..mb_rows {
+        for mx in 0..mb_cols {
+            let x = mx * MB;
+            let y = my * MB;
+            let r = three_step_search(cur, reference, x, y, range);
+            agg.inter_cost += r.sad as u64;
+            agg.intra_cost += intra_cost_mb(cur, x, y) as u64;
+            agg.mb_count += 1;
+        }
+    }
+    agg
 }
 
 #[cfg(test)]

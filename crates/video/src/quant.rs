@@ -6,6 +6,7 @@
 //! quantize to zero, which is what makes P-frames cheap.
 
 use crate::dct::BLOCK_LEN;
+use crate::kernels;
 
 /// JPEG Annex-K luminance quantization matrix (quality 50 reference).
 pub const BASE_LUMA: [u16; BLOCK_LEN] = [
@@ -32,10 +33,21 @@ pub const BASE_CHROMA: [u16; BLOCK_LEN] = [
 ];
 
 /// A quality-scaled quantization table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct QuantTable {
     steps: [u16; BLOCK_LEN],
+    /// The same steps as `f32`, precomputed for the quantize/dequantize
+    /// kernels (the conversion is exact: steps are at most 255).
+    steps_f32: [f32; BLOCK_LEN],
 }
+
+impl PartialEq for QuantTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.steps == other.steps
+    }
+}
+
+impl Eq for QuantTable {}
 
 impl QuantTable {
     /// Builds a table from a base matrix and a quality factor in `1..=100`
@@ -56,7 +68,11 @@ impl QuantTable {
             let q = (b as u32 * scale + 50) / 100;
             *s = q.clamp(1, 255) as u16;
         }
-        Self { steps }
+        let mut steps_f32 = [0f32; BLOCK_LEN];
+        for (f, &s) in steps_f32.iter_mut().zip(steps.iter()) {
+            *f = s as f32;
+        }
+        Self { steps, steps_f32 }
     }
 
     /// Luma table at `quality`.
@@ -74,18 +90,15 @@ impl QuantTable {
         self.steps[i]
     }
 
-    /// Quantizes a block of DCT coefficients to integer levels.
+    /// Quantizes a block of DCT coefficients to integer levels (rounding
+    /// ties away from zero, like the rest of the kernel tier).
     pub fn quantize(&self, coeffs: &[f32; BLOCK_LEN], out: &mut [i32; BLOCK_LEN]) {
-        for i in 0..BLOCK_LEN {
-            out[i] = (coeffs[i] / self.steps[i] as f32).round() as i32;
-        }
+        kernels::quantize64(coeffs, &self.steps_f32, out);
     }
 
     /// Reconstructs DCT coefficients from quantized levels.
     pub fn dequantize(&self, levels: &[i32; BLOCK_LEN], out: &mut [f32; BLOCK_LEN]) {
-        for i in 0..BLOCK_LEN {
-            out[i] = levels[i] as f32 * self.steps[i] as f32;
-        }
+        kernels::dequantize64(levels, &self.steps_f32, out);
     }
 }
 

@@ -1,0 +1,124 @@
+//! Steady-state allocation audit of the encoder and decoder.
+//!
+//! After a warmup pass has sized every scratch buffer (reference and
+//! reconstruction frames, the lookahead's half-resolution planes, the
+//! bitstream payload `Vec`s, the decision log), re-encoding and re-decoding
+//! the same sequence must perform **zero** heap allocations: the hot loops
+//! recycle buffers by swapping, never by allocating.
+//!
+//! The whole audit lives in a single `#[test]` because the counting
+//! allocator is process-global and `cargo test` runs sibling tests on
+//! other threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sieve_video::encode::{EncodedFrame, Encoder, EncoderConfig, FrameType};
+use sieve_video::{Decoder, Frame, Resolution};
+
+/// Forwards to the system allocator, counting every allocation and
+/// reallocation (frees are irrelevant to the audit).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Moving textured content: forces real motion search, coded residuals,
+/// and the occasional scenecut, so the steady state is the codec's real
+/// steady state and not the all-skip fast path.
+fn test_frames(res: Resolution, count: usize) -> Vec<Frame> {
+    let (w, h) = (res.width() as usize, res.height() as usize);
+    (0..count)
+        .map(|t| {
+            let mut f = Frame::grey(res);
+            for y in 0..h {
+                for x in 0..w {
+                    let v = (((x + 3 * t) * 13 + y * 7) % 160) as u8 + 40;
+                    f.y_mut().put(x, y, v);
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+#[test]
+fn encode_decode_steady_state_does_not_allocate() {
+    let res = Resolution::new(64, 48);
+    let frames = test_frames(res, 12);
+    let config = EncoderConfig::new(5, 100);
+
+    let mut encoder = Encoder::new(res, config);
+    let mut outputs: Vec<EncodedFrame> = frames
+        .iter()
+        .map(|_| EncodedFrame {
+            frame_type: FrameType::I,
+            data: Vec::new(),
+        })
+        .collect();
+
+    // Warmup: two full passes size every buffer (the second catches buffers
+    // that only reach their steady-state capacity after one reuse cycle).
+    for _ in 0..2 {
+        encoder.reset();
+        for (frame, out) in frames.iter().zip(outputs.iter_mut()) {
+            encoder.encode_frame_into(frame, out);
+        }
+    }
+
+    encoder.reset();
+    let before = allocations();
+    for (frame, out) in frames.iter().zip(outputs.iter_mut()) {
+        encoder.encode_frame_into(frame, out);
+    }
+    let encode_allocs = allocations() - before;
+    assert_eq!(
+        encode_allocs,
+        0,
+        "steady-state encode of {} frames allocated {encode_allocs} times",
+        frames.len()
+    );
+
+    let mut decoder = Decoder::new(res, config.quality);
+    for _ in 0..2 {
+        decoder.reset();
+        for out in &outputs {
+            decoder.decode_next(out).expect("warmup decode");
+        }
+    }
+
+    decoder.reset();
+    let before = allocations();
+    for out in &outputs {
+        decoder.decode_next(out).expect("steady-state decode");
+    }
+    let decode_allocs = allocations() - before;
+    assert_eq!(
+        decode_allocs,
+        0,
+        "steady-state decode of {} frames allocated {decode_allocs} times",
+        outputs.len()
+    );
+}

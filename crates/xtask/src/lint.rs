@@ -1,6 +1,6 @@
 //! The lint rules and the workspace driver.
 //!
-//! Four token-level rules, each scoped to the paths where its invariant is
+//! Five token-level rules, each scoped to the paths where its invariant is
 //! load-bearing (scopes are listed in the rule table below and in the
 //! README). Test code (`tests/` directories and `#[cfg(test)]` items) and
 //! `shims/` are exempt everywhere; individual sites are waived with
@@ -94,11 +94,24 @@ const RULES: &[Rule] = &[
         in_scope: |p| p.starts_with("crates/simnet/src/"),
     },
     Rule {
+        // The codec crate sits below the fleet pool facade, so its one
+        // scoped-thread site (GOP-parallel encode) carries a justified
+        // allow; anything new must too.
         name: "no-raw-spawn",
         message: "raw thread spawn bypasses the sieve_simnet::sync::thread \
                   facade — workers must be schedulable by the model checker",
-        matcher: Matcher::Tokens(&["std::thread::spawn"]),
-        in_scope: runtime_crate,
+        matcher: Matcher::Tokens(&["std::thread::spawn", "std::thread::scope"]),
+        in_scope: |p| runtime_crate(p) || p.starts_with("crates/video/src/"),
+    },
+    Rule {
+        // SIMD intrinsics are quarantined in the kernels module (which
+        // carries a file-wide allow); the rest of the pixel-processing
+        // crates stay safe Rust.
+        name: "no-unsafe",
+        message: "unsafe outside sieve_video::kernels — keep intrinsics \
+                  behind the dispatcher and everything else in safe Rust",
+        matcher: Matcher::Tokens(&["unsafe"]),
+        in_scope: |p| p.starts_with("crates/video/src/") || p.starts_with("crates/filters/src/"),
     },
 ];
 
@@ -362,6 +375,38 @@ fn b() { Instant::now(); }
         );
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "no-raw-spawn");
+    }
+
+    #[test]
+    fn scoped_threads_in_codec_crate_need_a_marker() {
+        let f = check(
+            "crates/video/src/parallel.rs",
+            "fn f() { std::thread::scope(|s| {}); }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-raw-spawn");
+    }
+
+    #[test]
+    fn unsafe_flagged_in_pixel_crates_outside_kernels() {
+        for path in ["crates/video/src/motion.rs", "crates/filters/src/mse.rs"] {
+            let f = check(
+                path,
+                "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n",
+            );
+            assert_eq!(f.len(), 1, "{path}: {f:?}");
+            assert_eq!(f[0].rule, "no-unsafe", "{path}");
+        }
+    }
+
+    #[test]
+    fn kernels_allow_file_waives_no_unsafe() {
+        let src = "\
+// lint:allow-file(no-unsafe): intrinsics are confined to this module
+fn f() { unsafe { core::arch::x86_64::_mm_pause() } }
+";
+        let f = check("crates/video/src/kernels.rs", src);
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn main() -> ExitCode {
                 "usage: cargo xtask <command>\n\n\
                  commands:\n  \
                  lint    run the workspace source lints (no-unwrap, \
-                 no-std-sync, no-wall-clock, no-raw-spawn)"
+                 no-std-sync, no-wall-clock, no-raw-spawn, no-unsafe)"
             );
             ExitCode::from(2)
         }
