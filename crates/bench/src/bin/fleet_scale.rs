@@ -31,7 +31,7 @@
 
 use criterion::Criterion;
 use sieve_bench::fleet_artifact::{
-    validate, BenchArtifact, BenchPoint, SkewedComparison, SkewedRun,
+    validate, BenchArtifact, BenchPoint, Overhead, OverheadRun, SkewedComparison, SkewedRun,
 };
 use sieve_bench::report::{pct, table};
 use sieve_bench::scale_from_args;
@@ -45,6 +45,8 @@ const FLEET_SEED: u64 = 0x51EE_E00D;
 const TARGET_RATE: f64 = 0.1;
 const SAMPLES: usize = 3;
 const SKEWED_STREAMS: usize = 256;
+const OVERHEAD_STREAMS: usize = 16;
+const OVERHEAD_SAMPLES: usize = 5;
 
 /// Where the serialized results land: the workspace root, two levels up
 /// from this crate's manifest.
@@ -152,6 +154,16 @@ fn skewed_cameras(n: usize, shards: usize, scale: DatasetScale, frames: usize) -
 /// of the workload; each refusal still counts as one shed event — the
 /// back-pressure signal the table reports.
 fn serve(cams: &[Camera], shards: usize, work_stealing: bool, priority_lanes: bool) -> FleetReport {
+    serve_with_stats(cams, shards, work_stealing, priority_lanes, true)
+}
+
+fn serve_with_stats(
+    cams: &[Camera],
+    shards: usize,
+    work_stealing: bool,
+    priority_lanes: bool,
+    stats: bool,
+) -> FleetReport {
     let fleet = Fleet::new(FleetConfig {
         shards,
         queue_capacity: 16,
@@ -159,6 +171,7 @@ fn serve(cams: &[Camera], shards: usize, work_stealing: bool, priority_lanes: bo
         max_streams: cams.len().max(16),
         work_stealing,
         priority_lanes,
+        stats,
     });
     let mut joined = Vec::new();
     for cam in cams {
@@ -206,6 +219,53 @@ fn serve(cams: &[Camera], shards: usize, work_stealing: bool, priority_lanes: bo
         }
     });
     fleet.shutdown()
+}
+
+/// Upper median of an unsorted sample (integer-exact for latency µs).
+fn median_u64(values: &[u64]) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+/// Median absolute deviation around [`median_u64`].
+fn mad_u64(values: &[u64], median: u64) -> u64 {
+    let deviations: Vec<u64> = values.iter().map(|&v| v.abs_diff(median)).collect();
+    median_u64(&deviations)
+}
+
+fn median_f64(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    sorted[sorted.len() / 2]
+}
+
+/// Serves the same workload `samples` times with the registry mirroring
+/// on or off and reduces the runs to robust statistics.
+fn overhead_run(cams: &[Camera], shards: usize, stats: bool, samples: usize) -> OverheadRun {
+    let mut walls = Vec::with_capacity(samples);
+    let mut p99s = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let report = serve_with_stats(cams, shards, true, true, stats);
+        walls.push(report.wall.as_secs_f64());
+        p99s.push(
+            report
+                .snapshot
+                .decision_latency
+                .expect("overhead run processed frames")
+                .p99_us,
+        );
+    }
+    let median_wall_secs = median_f64(&walls);
+    let wall_devs: Vec<f64> = walls.iter().map(|w| (w - median_wall_secs).abs()).collect();
+    let median_p99_us = median_u64(&p99s);
+    OverheadRun {
+        samples,
+        median_wall_secs,
+        mad_wall_secs: median_f64(&wall_devs),
+        median_p99_us,
+        mad_p99_us: mad_u64(&p99s, median_p99_us),
+    }
 }
 
 fn skewed_run(report: &FleetReport) -> SkewedRun {
@@ -323,6 +383,51 @@ fn main() {
          {TARGET_RATE} sampling with no offline calibration.)"
     );
 
+    // The counter-overhead A/B: the same workload with the observability
+    // plane's registry mirroring on (the default) and off. The per-stream
+    // cells always count (snapshots need them); `stats: false` removes
+    // only the extra relaxed increments into the shared registry — the
+    // exact cost the sieve-stats plane adds to every decision.
+    let cams = cameras(OVERHEAD_STREAMS, scale, frames);
+    let instrumented = overhead_run(&cams, shards, true, OVERHEAD_SAMPLES);
+    let uninstrumented = overhead_run(&cams, shards, false, OVERHEAD_SAMPLES);
+    let p99_diff = instrumented
+        .median_p99_us
+        .abs_diff(uninstrumented.median_p99_us);
+    let p99_mad = instrumented.mad_p99_us.max(uninstrumented.mad_p99_us);
+    let (lo, hi) = (
+        instrumented.median_p99_us.min(uninstrumented.median_p99_us),
+        instrumented.median_p99_us.max(uninstrumented.median_p99_us),
+    );
+    // Within the runs' own noise, or within one power-of-two histogram
+    // bucket (the p99 readout's resolution — adjacent buckets differ 2x).
+    let p99_within_noise = p99_diff <= p99_mad || hi <= lo.saturating_mul(2);
+    println!(
+        "\nCounter overhead: {OVERHEAD_STREAMS} streams, {frames} \
+         frames/stream, {OVERHEAD_SAMPLES} serves per config"
+    );
+    let overhead_row = |name: &str, run: &OverheadRun| {
+        vec![
+            name.into(),
+            format!("{:.2} ± {:.2}", run.median_wall_secs, run.mad_wall_secs),
+            format!("{} ± {}", run.median_p99_us, run.mad_p99_us),
+        ]
+    };
+    println!(
+        "{}",
+        table(
+            &["config", "median wall (s)", "p99 µs (median ± MAD)"],
+            &[
+                overhead_row("instrumented", &instrumented),
+                overhead_row("uninstrumented", &uninstrumented),
+            ]
+        )
+    );
+    println!(
+        "instrumented p99 within noise of uninstrumented: {p99_within_noise} \
+         (|Δ| = {p99_diff}us, MAD = {p99_mad}us)"
+    );
+
     // The skewed comparison: identical cameras, two scheduler configs.
     let skew_frames = frames.min(120);
     let cams = skewed_cameras(SKEWED_STREAMS, shards, scale, skew_frames);
@@ -399,6 +504,13 @@ fn main() {
         shards,
         frames_per_stream: frames,
         points,
+        overhead: Overhead {
+            streams: OVERHEAD_STREAMS,
+            frames_per_stream: frames,
+            instrumented,
+            uninstrumented,
+            p99_within_noise,
+        },
         skewed: SkewedComparison {
             streams: SKEWED_STREAMS,
             hot_streams,

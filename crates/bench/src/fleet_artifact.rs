@@ -66,6 +66,42 @@ pub struct SkewedRun {
     pub steal_fail: u64,
 }
 
+/// One side of the instrumentation-overhead A/B: robust statistics over
+/// `samples` identical serves of the same workload.
+#[derive(Debug, Serialize)]
+pub struct OverheadRun {
+    /// Serves timed.
+    pub samples: usize,
+    /// Median serving wall time, seconds.
+    pub median_wall_secs: f64,
+    /// Median absolute deviation of the wall time, seconds.
+    pub mad_wall_secs: f64,
+    /// Median of the per-run p99 push→decision latencies, µs.
+    pub median_p99_us: u64,
+    /// Median absolute deviation of the per-run p99 latencies, µs.
+    pub mad_p99_us: u64,
+}
+
+/// The counter-overhead experiment: the same workload served with the
+/// per-stage registry mirroring on (`FleetConfig::stats = true`, the
+/// default) and off, proving the observability plane's relaxed sharded
+/// counters cost nothing measurable on the decision path.
+#[derive(Debug, Serialize)]
+pub struct Overhead {
+    /// Concurrent streams in the A/B workload.
+    pub streams: usize,
+    /// Frames per stream.
+    pub frames_per_stream: usize,
+    /// Registry mirroring on (the shipping default).
+    pub instrumented: OverheadRun,
+    /// Registry mirroring off (`FleetConfig::stats = false`).
+    pub uninstrumented: OverheadRun,
+    /// True when the instrumented median p99 sits within the runs' MAD of
+    /// the uninstrumented one, or within one power-of-two histogram
+    /// bucket (a factor of two — the quantile readout's resolution).
+    pub p99_within_noise: bool,
+}
+
 /// The skewed (hot-camera) workload: every hot stream hashes to shard 0,
 /// so the round-robin baseline leaves the other shards idle while shard 0
 /// drowns — the scenario work stealing exists for.
@@ -96,6 +132,8 @@ pub struct BenchArtifact {
     pub frames_per_stream: usize,
     /// The fleet-size sweep, ascending.
     pub points: Vec<BenchPoint>,
+    /// The instrumented-vs-uninstrumented counter-overhead A/B.
+    pub overhead: Overhead,
     /// The skewed-workload baseline-vs-stealing comparison.
     pub skewed: SkewedComparison,
 }
@@ -106,6 +144,7 @@ const ARTIFACT_KEYS: &[&str] = &[
     "shards",
     "frames_per_stream",
     "points",
+    "overhead",
     "skewed",
 ];
 const POINT_KEYS: &[&str] = &[
@@ -120,6 +159,20 @@ const POINT_KEYS: &[&str] = &[
     "shed_rate",
     "p99_decision_latency_us",
     "worst_rate_err",
+];
+const OVERHEAD_KEYS: &[&str] = &[
+    "streams",
+    "frames_per_stream",
+    "instrumented",
+    "uninstrumented",
+    "p99_within_noise",
+];
+const OVERHEAD_RUN_KEYS: &[&str] = &[
+    "samples",
+    "median_wall_secs",
+    "mad_wall_secs",
+    "median_p99_us",
+    "mad_p99_us",
 ];
 const SKEWED_KEYS: &[&str] = &[
     "streams",
@@ -152,6 +205,37 @@ fn number_of(map: &serde::Map, key: &str, what: &str) -> Result<f64, String> {
         Some(serde::Value::Number(n)) => Ok(n.as_f64()),
         Some(v) => Err(format!("{what}.{key}: expected a number, got {}", v.kind())),
         None => Err(format!("{what}.{key}: missing")),
+    }
+}
+
+fn check_overhead(root: &serde::Map) -> Result<(), String> {
+    let overhead = root
+        .get("overhead")
+        .and_then(serde::Value::as_object)
+        .ok_or_else(|| "root.overhead: expected an object".to_string())?;
+    expect_keys(overhead, OVERHEAD_KEYS, "overhead")?;
+    for side in ["instrumented", "uninstrumented"] {
+        let what = format!("overhead.{side}");
+        let run = overhead
+            .get(side)
+            .and_then(serde::Value::as_object)
+            .ok_or_else(|| format!("{what}: expected an object"))?;
+        expect_keys(run, OVERHEAD_RUN_KEYS, &what)?;
+        let samples = number_of(run, "samples", &what)?;
+        if samples < 2.0 {
+            return Err(format!(
+                "{what}.samples: {samples} too few for a MAD to mean anything"
+            ));
+        }
+        number_of(run, "median_p99_us", &what)?;
+    }
+    // The point of the experiment: the verdict is a real bool, not null.
+    match overhead.get("p99_within_noise") {
+        Some(serde::Value::Bool(_)) => Ok(()),
+        other => Err(format!(
+            "overhead.p99_within_noise: expected a bool, got {:?}",
+            other.map(serde::Value::kind)
+        )),
     }
 }
 
@@ -214,6 +298,7 @@ pub fn validate(json: &str) -> Result<(), String> {
         }
         number_of(point, "p99_decision_latency_us", &what)?;
     }
+    check_overhead(root)?;
     let skewed = root
         .get("skewed")
         .and_then(serde::Value::as_object)
@@ -257,6 +342,25 @@ mod tests {
                 p99_decision_latency_us: 128,
                 worst_rate_err: 0.05,
             }],
+            overhead: Overhead {
+                streams: 16,
+                frames_per_stream: 240,
+                instrumented: OverheadRun {
+                    samples: 5,
+                    median_wall_secs: 0.5,
+                    mad_wall_secs: 0.02,
+                    median_p99_us: 512,
+                    mad_p99_us: 0,
+                },
+                uninstrumented: OverheadRun {
+                    samples: 5,
+                    median_wall_secs: 0.5,
+                    mad_wall_secs: 0.02,
+                    median_p99_us: 512,
+                    mad_p99_us: 0,
+                },
+                p99_within_noise: true,
+            },
             skewed: SkewedComparison {
                 streams: 256,
                 hot_streams: 64,
@@ -289,6 +393,14 @@ mod tests {
         assert!(validate(&json).is_err(), "renamed key must fail");
         let json = to_json(&sample()).replace("fleet_scale", "fleet_scale_v2");
         assert!(validate(&json).is_err(), "benchmark name is pinned");
+    }
+
+    #[test]
+    fn null_overhead_verdict_is_rejected() {
+        let json =
+            to_json(&sample()).replace("\"p99_within_noise\": true", "\"p99_within_noise\": null");
+        let err = validate(&json).expect_err("null verdict must fail");
+        assert!(err.contains("p99_within_noise"), "{err}");
     }
 
     #[test]

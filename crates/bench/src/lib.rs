@@ -23,6 +23,7 @@ pub mod codec_artifact;
 pub mod fleet_artifact;
 pub mod harness;
 pub mod report;
+pub mod stats_artifact;
 
 use sieve_datasets::DatasetScale;
 

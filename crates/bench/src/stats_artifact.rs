@@ -1,0 +1,203 @@
+//! The `stats.json` schema: a stability validator for the observability
+//! plane's serialized time series.
+//!
+//! `sieve_stats::Collector::export` writes a [`SeriesExport`]: a cumulative
+//! time series sampled from a [`Registry`], one point per tick. The
+//! committed sample at the repository root is produced by the `fleet_top`
+//! example (`--once --export stats.json`) and is what downstream tooling
+//! diffs, so its *shape* is a contract: [`validate`] asserts the exact key
+//! sets at every level (artifact, point, histogram summary), that `seq` is
+//! strictly ascending and `elapsed_ms` non-decreasing, and that every
+//! counter named in consecutive points is monotone — counters are
+//! cumulative by construction, so a decrease means an instrument was
+//! silently replaced mid-run. The `fleet_top` export and a unit test over
+//! the committed sample both go through this module, so a schema
+//! regression fails `cargo test` before it lands.
+//!
+//! [`SeriesExport`]: sieve_stats::SeriesExport
+//! [`Registry`]: sieve_stats::Registry
+
+const ARTIFACT_KEYS: &[&str] = &["artifact", "points"];
+const POINT_KEYS: &[&str] = &["seq", "elapsed_ms", "counters", "gauges", "histograms"];
+const SUMMARY_KEYS: &[&str] = &["count", "p50", "p90", "p99", "max"];
+
+fn expect_keys(map: &serde::Map, keys: &[&str], what: &str) -> Result<(), String> {
+    let have: Vec<&str> = map.iter().map(|(k, _)| k).collect();
+    if have != keys {
+        return Err(format!("{what}: keys {have:?}, expected exactly {keys:?}"));
+    }
+    Ok(())
+}
+
+fn u64_of(map: &serde::Map, key: &str, what: &str) -> Result<u64, String> {
+    match map.get(key) {
+        Some(serde::Value::Number(n)) => n
+            .as_u64()
+            .ok_or_else(|| format!("{what}.{key}: expected a non-negative integer")),
+        Some(v) => Err(format!("{what}.{key}: expected a number, got {}", v.kind())),
+        None => Err(format!("{what}.{key}: missing")),
+    }
+}
+
+/// Every value of `map` must be a non-negative integer; returns the
+/// `name -> value` pairs for cross-point monotonicity checks.
+fn u64_map_of<'a>(
+    map: &'a serde::Map,
+    key: &str,
+    what: &str,
+) -> Result<Vec<(&'a str, u64)>, String> {
+    let inner = map
+        .get(key)
+        .and_then(serde::Value::as_object)
+        .ok_or_else(|| format!("{what}.{key}: expected an object"))?;
+    inner
+        .iter()
+        .map(|(name, v)| match v {
+            serde::Value::Number(n) => n
+                .as_u64()
+                .map(|v| (name, v))
+                .ok_or_else(|| format!("{what}.{key}.{name}: expected a non-negative integer")),
+            other => Err(format!(
+                "{what}.{key}.{name}: expected a number, got {}",
+                other.kind()
+            )),
+        })
+        .collect()
+}
+
+/// Asserts the series export's schema stability; see the module docs.
+/// `json` is the full text of a `stats.json` file.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated schema rule.
+pub fn validate(json: &str) -> Result<(), String> {
+    let root = serde_json::parse_value_str(json).map_err(|e| format!("unparseable JSON: {e}"))?;
+    let root = root
+        .as_object()
+        .ok_or_else(|| "root: expected an object".to_string())?;
+    expect_keys(root, ARTIFACT_KEYS, "root")?;
+    if root.get("artifact").and_then(serde::Value::as_str) != Some("sieve_stats") {
+        return Err("root.artifact: expected \"sieve_stats\"".to_string());
+    }
+    let points = root
+        .get("points")
+        .and_then(serde::Value::as_array)
+        .ok_or_else(|| "root.points: expected an array".to_string())?;
+    if points.is_empty() {
+        return Err("root.points: must not be empty".to_string());
+    }
+    let mut prev_seq: Option<u64> = None;
+    let mut prev_elapsed: u64 = 0;
+    let mut prev_counters: Vec<(String, u64)> = Vec::new();
+    for (i, point) in points.iter().enumerate() {
+        let what = format!("points[{i}]");
+        let point = point
+            .as_object()
+            .ok_or_else(|| format!("{what}: expected an object"))?;
+        expect_keys(point, POINT_KEYS, &what)?;
+        let seq = u64_of(point, "seq", &what)?;
+        if prev_seq.is_some_and(|p| seq <= p) {
+            return Err(format!("{what}.seq: {seq} not strictly ascending"));
+        }
+        prev_seq = Some(seq);
+        let elapsed = u64_of(point, "elapsed_ms", &what)?;
+        if elapsed < prev_elapsed {
+            return Err(format!(
+                "{what}.elapsed_ms: {elapsed} decreased from {prev_elapsed}"
+            ));
+        }
+        prev_elapsed = elapsed;
+        let counters = u64_map_of(point, "counters", &what)?;
+        // Counters are cumulative: any name present in two consecutive
+        // points must not have gone backwards.
+        for (name, value) in &counters {
+            if let Some((_, prev)) = prev_counters.iter().find(|(n, _)| n == name) {
+                if value < prev {
+                    return Err(format!(
+                        "{what}.counters.{name}: {value} decreased from {prev} (counters are cumulative)"
+                    ));
+                }
+            }
+        }
+        prev_counters = counters
+            .into_iter()
+            .map(|(n, v)| (n.to_string(), v))
+            .collect();
+        u64_map_of(point, "gauges", &what)?;
+        let histograms = point
+            .get("histograms")
+            .and_then(serde::Value::as_object)
+            .ok_or_else(|| format!("{what}.histograms: expected an object"))?;
+        for (name, summary) in histograms.iter() {
+            let where_ = format!("{what}.histograms.{name}");
+            let summary = summary
+                .as_object()
+                .ok_or_else(|| format!("{where_}: expected an object"))?;
+            expect_keys(summary, SUMMARY_KEYS, &where_)?;
+            let count = u64_of(summary, "count", &where_)?;
+            let p50 = u64_of(summary, "p50", &where_)?;
+            let p90 = u64_of(summary, "p90", &where_)?;
+            let p99 = u64_of(summary, "p99", &where_)?;
+            u64_of(summary, "max", &where_)?;
+            if count == 0 {
+                return Err(format!("{where_}.count: empty histograms are not exported"));
+            }
+            if !(p50 <= p90 && p90 <= p99) {
+                return Err(format!(
+                    "{where_}: quantiles not monotone (p50 {p50}, p90 {p90}, p99 {p99})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sieve_stats::{Collector, Registry};
+    use std::sync::Arc;
+
+    fn sample_json() -> String {
+        let registry = Arc::new(Registry::new());
+        let stage = registry.stage("t");
+        let kept = stage.counter("kept");
+        let lat = stage.histogram("lat_us");
+        let collector = Collector::new(registry);
+        for tick in 1..=3u64 {
+            kept.add(10);
+            lat.record(100 * tick);
+            collector.tick_at(tick * 250);
+        }
+        serde_json::to_string_pretty(&collector.export()).expect("serializes")
+    }
+
+    #[test]
+    fn generated_export_validates() {
+        validate(&sample_json()).expect("schema-clean");
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_rejected() {
+        let json = sample_json().replace("\"p90\"", "\"p95\"");
+        assert!(validate(&json).is_err(), "renamed summary key must fail");
+        let json = sample_json().replace("sieve_stats", "sieve_stats_v2");
+        assert!(validate(&json).is_err(), "artifact name is pinned");
+    }
+
+    #[test]
+    fn regressing_counters_are_rejected() {
+        // Third tick's cumulative count (30) rewritten below the second's.
+        let json = sample_json().replace("\"t.kept\": 30", "\"t.kept\": 5");
+        let err = validate(&json).expect_err("regression must fail");
+        assert!(err.contains("cumulative"), "{err}");
+    }
+
+    #[test]
+    fn committed_artifact_is_schema_stable() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../stats.json");
+        let json = std::fs::read_to_string(path).expect("committed stats.json exists");
+        validate(&json).unwrap_or_else(|e| panic!("committed stats.json violates schema: {e}"));
+    }
+}

@@ -19,7 +19,15 @@
 //!   target, correcting estimator bias and slow drift.
 //!
 //! The controller is fully deterministic: the same score stream always
-//! yields the same decisions.
+//! yields the same decisions. Every controller also mirrors its activity
+//! into the process-wide [`sieve_stats::global`] registry under the
+//! `"adapt"` stage (`adapt.observed`, `adapt.kept`, `adapt.forced_keeps`)
+//! — observation only, never an input to a decision, so determinism is
+//! unaffected.
+
+use std::sync::Arc;
+
+use sieve_stats::Counter;
 
 use crate::error::SieveError;
 
@@ -233,6 +241,27 @@ pub struct RateController {
     gain: f64,
     observed: u64,
     kept: u64,
+    stats: AdaptStats,
+}
+
+/// Pre-resolved handles into the global `"adapt"` stage, shared by every
+/// controller in the process (the registry aggregates across streams).
+#[derive(Debug, Clone)]
+struct AdaptStats {
+    observed: Arc<Counter>,
+    kept: Arc<Counter>,
+    forced_keeps: Arc<Counter>,
+}
+
+impl AdaptStats {
+    fn resolve() -> Self {
+        let stage = sieve_stats::global().stage("adapt");
+        Self {
+            observed: stage.contended_counter("observed"),
+            kept: stage.contended_counter("kept"),
+            forced_keeps: stage.contended_counter("forced_keeps"),
+        }
+    }
 }
 
 impl RateController {
@@ -257,6 +286,7 @@ impl RateController {
             gain: 0.04,
             observed: 0,
             kept: 0,
+            stats: AdaptStats::resolve(),
         })
     }
 
@@ -281,8 +311,10 @@ impl RateController {
     pub fn observe(&mut self, score: f64) -> bool {
         let keep = score > self.threshold();
         self.observed += 1;
+        self.stats.observed.inc();
         if keep {
             self.kept += 1;
+            self.stats.kept.inc();
         }
         self.rate.update(if keep { 1.0 } else { 0.0 });
         let base = self.quantile.estimate().unwrap_or(score);
@@ -322,6 +354,9 @@ impl RateController {
     pub fn note_forced_keep(&mut self) {
         self.observed += 1;
         self.kept += 1;
+        self.stats.observed.inc();
+        self.stats.kept.inc();
+        self.stats.forced_keeps.inc();
         self.rate.update(1.0);
     }
 

@@ -34,7 +34,11 @@
 //!   aggregate kept / dropped / shed / failed counts, queue depths,
 //!   achieved sampling rate vs. target, plus scheduler health — frames
 //!   `stolen`, failed steal attempts, and a push→decision latency
-//!   histogram ([`LatencySnapshot`]).
+//!   histogram ([`LatencySnapshot`]). All of it is built on `sieve-stats`
+//!   instruments living in a [`sieve_stats::Registry`] (private by
+//!   default; share one via [`Fleet::with_registry`]), so a
+//!   [`sieve_stats::Collector`] — or the `fleet_top` terminal dashboard —
+//!   can sample the fleet's `"fleet"` stage as a live time series.
 //!
 //! Memory stays bounded no matter how many frames flow: queued encoded
 //! frames ≤ `global_frame_budget`, and per-stream decode state is one

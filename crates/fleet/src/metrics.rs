@@ -1,15 +1,27 @@
-//! Fleet observability: per-stream counters and aggregate snapshots.
+//! Fleet observability: per-stream counters and aggregate snapshots, built
+//! on the shared `sieve-stats` instruments.
 //!
-//! Counters are lock-free atomics shared between the ingest path, the
-//! shard workers and snapshot readers, so [`crate::Fleet::snapshot`] never
-//! stalls a decode. The four terminal outcomes are accounted separately —
-//! in particular [`StreamSnapshot::shed`] (admission refused a frame under
-//! load) is *not* [`StreamSnapshot::dropped`] (the policy filtered a frame
-//! it saw): conflating them would make an overloaded edge look like a
+//! Per-stream counters are single-shard [`sieve_stats::Counter`]s (one
+//! relaxed atomic — a stream is only ever touched by one shard worker at a
+//! time), shared between the ingest path, the shard workers and snapshot
+//! readers, so [`crate::Fleet::snapshot`] never stalls a decode. The four
+//! terminal outcomes are accounted separately — in particular
+//! [`StreamSnapshot::shed`] (admission refused a frame under load) is
+//! *not* [`StreamSnapshot::dropped`] (the policy filtered a frame it saw):
+//! conflating them would make an overloaded edge look like a
 //! well-filtering one.
+//!
+//! Fleet-wide telemetry (steal traffic, the decision-latency histogram,
+//! and — when [`crate::FleetConfig::stats`] is on — stage-level totals for
+//! the time-series collector) lives in the fleet's
+//! [`sieve_stats::Registry`] under the `"fleet"` stage, where a
+//! [`sieve_stats::Collector`] or the `fleet_top` dashboard can sample it.
 
-use sieve_simnet::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sieve_simnet::sync::atomic::{AtomicBool, Ordering};
 use sieve_simnet::sync::Mutex;
+use sieve_stats::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Stage};
 
 use crate::registry::StreamId;
 
@@ -17,19 +29,22 @@ use crate::registry::StreamId;
 #[derive(Debug, Default)]
 pub(crate) struct StreamCounters {
     /// Frames the session decided on: kept + dropped + failed.
-    pub processed: AtomicU64,
+    pub processed: Counter,
     /// Frames the policy kept.
-    pub kept: AtomicU64,
+    pub kept: Counter,
     /// Frames the policy dropped (filtering).
-    pub dropped: AtomicU64,
+    pub dropped: Counter,
     /// Frames the edge failed to process (decode errors).
-    pub failed: AtomicU64,
+    pub failed: Counter,
     /// Frames refused at admission (queue full or global budget exhausted).
-    pub shed: AtomicU64,
+    pub shed: Counter,
+    /// Frames of this stream processed out of stolen batches (on a shard
+    /// other than the stream's home).
+    pub stolen: Counter,
     /// Encoded payload bytes of kept frames (transfer proxy).
-    pub kept_payload_bytes: AtomicU64,
+    pub kept_payload_bytes: Counter,
     /// Frames currently queued for this stream.
-    pub queue_depth: AtomicU64,
+    pub queue_depth: Gauge,
 }
 
 /// The shared cell the registry and the owning shard worker both hold for
@@ -43,70 +58,66 @@ pub(crate) struct StreamCell {
     pub finish_error: Mutex<Option<String>>,
 }
 
-/// Number of power-of-two latency buckets: bucket `i` holds samples in
-/// `[2^i, 2^(i+1))` microseconds, so the range spans 1 µs .. ~18 min.
-const LATENCY_BUCKETS: usize = 40;
-
-/// A lock-free histogram of decision latencies (push → decision) in
-/// power-of-two microsecond buckets. Recording is one relaxed atomic
-/// increment; quantiles are computed at snapshot time.
-pub(crate) struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
+/// Stage-level totals mirrored into the stats registry on every decision,
+/// present only when [`crate::FleetConfig::stats`] is on — the knob the
+/// overhead benchmark flips to compare instrumented against
+/// uninstrumented runs.
+#[derive(Debug)]
+pub(crate) struct StageEmit {
+    pub processed: Arc<Counter>,
+    pub kept: Arc<Counter>,
+    pub dropped: Arc<Counter>,
+    pub failed: Arc<Counter>,
+    pub shed: Arc<Counter>,
+    pub kept_payload_bytes: Arc<Counter>,
+    pub queue_depth: Arc<Gauge>,
 }
 
-impl std::fmt::Debug for LatencyHistogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LatencyHistogram")
-            .field("count", &self.snapshot().map(|s| s.count))
-            .finish()
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
+impl StageEmit {
+    fn in_stage(stage: &Stage) -> Self {
         Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            processed: stage.contended_counter("processed"),
+            kept: stage.contended_counter("kept"),
+            dropped: stage.contended_counter("dropped"),
+            failed: stage.contended_counter("failed"),
+            shed: stage.contended_counter("shed"),
+            kept_payload_bytes: stage.contended_counter("kept_payload_bytes"),
+            queue_depth: stage.gauge("queue_depth"),
         }
     }
 }
 
-impl LatencyHistogram {
-    pub(crate) fn record_micros(&self, micros: u64) {
-        let bucket = (micros.max(1).ilog2() as usize).min(LATENCY_BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-    }
+/// Fleet-wide scheduler telemetry: pre-resolved handles into the fleet's
+/// stats registry (`"fleet"` stage). Steal traffic and the
+/// decision-latency histogram are always live — [`FleetSnapshot`] is built
+/// from them; the broader stage totals are optional (see [`StageEmit`]).
+#[derive(Debug)]
+pub(crate) struct FleetInstruments {
+    /// The registry every handle below resolves into.
+    pub registry: Arc<Registry>,
+    /// Frames processed out of *stolen* batches (work that moved shards).
+    pub stolen: Arc<Counter>,
+    /// Steal attempts abandoned because the victim's queue lock was
+    /// contended (the owner always wins; the thief moves on).
+    pub steal_fail: Arc<Counter>,
+    /// Push→decision latency across all streams, microseconds.
+    pub latency: Arc<Histogram>,
+    /// Stage-level totals, when [`crate::FleetConfig::stats`] is on.
+    pub emit: Option<StageEmit>,
+}
 
-    /// The value at quantile `q` (0..=1), reported as the recording
-    /// bucket's upper bound — a ≤ 2× overestimate, never an underestimate.
-    fn quantile(&self, counts: &[u64], q: f64) -> u64 {
-        let total: u64 = counts.iter().sum();
-        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
-        let mut seen = 0;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return 1u64 << (i as u32 + 1);
-            }
+impl FleetInstruments {
+    /// Resolves the fleet's instruments in `registry` under the `"fleet"`
+    /// stage.
+    pub(crate) fn in_registry(registry: Arc<Registry>, stats: bool) -> Self {
+        let stage = registry.stage("fleet");
+        Self {
+            stolen: stage.contended_counter("stolen"),
+            steal_fail: stage.contended_counter("steal_fail"),
+            latency: stage.histogram("decision_latency_us"),
+            emit: stats.then(|| StageEmit::in_stage(&stage)),
+            registry,
         }
-        1u64 << LATENCY_BUCKETS
-    }
-
-    /// `None` until at least one sample was recorded.
-    pub(crate) fn snapshot(&self) -> Option<LatencySnapshot> {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let count: u64 = counts.iter().sum();
-        if count == 0 {
-            return None;
-        }
-        Some(LatencySnapshot {
-            count,
-            p50_us: self.quantile(&counts, 0.50),
-            p99_us: self.quantile(&counts, 0.99),
-        })
     }
 }
 
@@ -123,16 +134,19 @@ pub struct LatencySnapshot {
     pub p99_us: u64,
 }
 
-/// Fleet-wide scheduler telemetry shared by every shard worker.
-#[derive(Debug, Default)]
-pub(crate) struct SchedStats {
-    /// Frames processed out of *stolen* batches (work that moved shards).
-    pub stolen: AtomicU64,
-    /// Steal attempts abandoned because the victim's queue lock was
-    /// contended (the owner always wins; the thief moves on).
-    pub steal_fail: AtomicU64,
-    /// Push→decision latency across all streams.
-    pub latency: LatencyHistogram,
+impl LatencySnapshot {
+    /// `None` until at least one sample was recorded — and always `None`
+    /// in model-check builds, which forbid wall time.
+    pub(crate) fn of(histogram: &HistogramSnapshot) -> Option<Self> {
+        if histogram.is_empty() {
+            return None;
+        }
+        Some(Self {
+            count: histogram.count(),
+            p50_us: histogram.p50(),
+            p99_us: histogram.p99(),
+        })
+    }
 }
 
 /// Point-in-time view of one stream.
@@ -156,6 +170,8 @@ pub struct StreamSnapshot {
     pub failed: u64,
     /// Frames shed at admission — never seen by the policy.
     pub shed: u64,
+    /// Frames processed away from the stream's home shard (stolen work).
+    pub stolen: u64,
     /// Encoded payload bytes of kept frames.
     pub kept_payload_bytes: u64,
     /// Frames currently queued.
@@ -216,7 +232,7 @@ pub struct FleetSnapshot {
 }
 
 impl FleetSnapshot {
-    pub(crate) fn of(mut streams: Vec<StreamSnapshot>, sched: &SchedStats) -> Self {
+    pub(crate) fn of(mut streams: Vec<StreamSnapshot>, instruments: &FleetInstruments) -> Self {
         streams.sort_by_key(|s| s.id);
         let mut aggregate = FleetAggregate {
             streams: streams.len(),
@@ -234,9 +250,9 @@ impl FleetSnapshot {
         Self {
             streams,
             aggregate,
-            stolen: sched.stolen.load(Ordering::Relaxed),
-            steal_fail: sched.steal_fail.load(Ordering::Relaxed),
-            decision_latency: sched.latency.snapshot(),
+            stolen: instruments.stolen.get(),
+            steal_fail: instruments.steal_fail.get(),
+            decision_latency: LatencySnapshot::of(&instruments.latency.snapshot()),
         }
     }
 }
@@ -264,13 +280,14 @@ impl StreamCell {
             label: label.to_string(),
             selector,
             target_rate,
-            processed: c.processed.load(Ordering::Relaxed),
-            kept: c.kept.load(Ordering::Relaxed),
-            dropped: c.dropped.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            shed: c.shed.load(Ordering::Relaxed),
-            kept_payload_bytes: c.kept_payload_bytes.load(Ordering::Relaxed),
-            queue_depth: c.queue_depth.load(Ordering::Relaxed),
+            processed: c.processed.get(),
+            kept: c.kept.get(),
+            dropped: c.dropped.get(),
+            failed: c.failed.get(),
+            shed: c.shed.get(),
+            stolen: c.stolen.get(),
+            kept_payload_bytes: c.kept_payload_bytes.get(),
+            queue_depth: c.queue_depth.get(),
             done: self.done.load(Ordering::Acquire),
             finish_error: self.finish_error.lock().clone(),
         }

@@ -52,7 +52,9 @@ use sieve_simnet::sync::{Mutex, RwLock};
 use sieve_simnet::{GuardedPop, PushOutcome, ShardQueue, Steal};
 use sieve_video::{EncodedFrame, Frame, FrameType, Resolution};
 
-use crate::metrics::{FleetReport, FleetSnapshot, SchedStats, StreamCell};
+use sieve_stats::Registry as StatsRegistry;
+
+use crate::metrics::{FleetInstruments, FleetReport, FleetSnapshot, StreamCell};
 use crate::pool::DecoderPool;
 use crate::priority::{initial_ewma, update_ewma, weight_of};
 use crate::registry::{FleetError, StreamConfig, StreamId};
@@ -137,6 +139,12 @@ pub struct FleetConfig {
     /// Lane weights follow per-stream keep rates ([`crate::priority`]).
     /// Off, all lanes stay at weight 1: plain round-robin.
     pub priority_lanes: bool,
+    /// Mirror fleet-wide totals into the stats registry on every decision
+    /// (the `"fleet"` stage a [`sieve_stats::Collector`] samples). Off,
+    /// only the per-stream cells, steal counters and the decision-latency
+    /// histogram are maintained — the uninstrumented baseline the overhead
+    /// benchmark compares against.
+    pub stats: bool,
 }
 
 impl Default for FleetConfig {
@@ -148,6 +156,7 @@ impl Default for FleetConfig {
             max_streams: 64,
             work_stealing: true,
             priority_lanes: true,
+            stats: true,
         }
     }
 }
@@ -243,7 +252,7 @@ pub struct Fleet {
     registry: RwLock<BTreeMap<u64, StreamEntry>>,
     next_id: AtomicU64,
     inflight: Arc<AtomicUsize>,
-    sched: Arc<SchedStats>,
+    instruments: Arc<FleetInstruments>,
     pool: Arc<DecoderPool>,
     started: Instant,
 }
@@ -270,13 +279,27 @@ pub fn shard_of(id: u64, shards: usize) -> usize {
 }
 
 impl Fleet {
-    /// Starts the worker pool (idle until streams join).
+    /// Starts the worker pool (idle until streams join) over a private
+    /// stats registry — see [`Fleet::with_registry`] to share one.
     ///
     /// # Panics
     ///
     /// Panics if `config.shards`, `queue_capacity`, `global_frame_budget`
     /// or `max_streams` is zero.
     pub fn new(config: FleetConfig) -> Self {
+        Self::with_registry(config, Arc::new(StatsRegistry::new()))
+    }
+
+    /// [`Fleet::new`], emitting into `registry` (under the `"fleet"`
+    /// stage) instead of a private one — the constructor a dashboard or
+    /// collector uses to sample the fleet alongside other subsystems.
+    ///
+    /// # Panics
+    ///
+    /// Same sizing panics as [`Fleet::new`], plus the registry panics if a
+    /// `fleet.*` instrument name is already registered as a different
+    /// kind.
+    pub fn with_registry(config: FleetConfig, stats_registry: Arc<StatsRegistry>) -> Self {
         assert!(config.shards > 0, "fleet needs at least one shard");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         assert!(
@@ -285,7 +308,7 @@ impl Fleet {
         );
         assert!(config.max_streams > 0, "stream cap must be positive");
         let inflight = Arc::new(AtomicUsize::new(0));
-        let sched = Arc::new(SchedStats::default());
+        let instruments = Arc::new(FleetInstruments::in_registry(stats_registry, config.stats));
         let pool = Arc::new(DecoderPool::default());
         let queues: Vec<_> = (0..config.shards)
             .map(|_| Arc::new(ShardQueue::<QueuedFrame>::new(config.queue_capacity)))
@@ -300,7 +323,7 @@ impl Fleet {
                     queues: queues.clone(),
                     states: states.clone(),
                     inflight: inflight.clone(),
-                    sched: sched.clone(),
+                    instruments: instruments.clone(),
                     pool: pool.clone(),
                     work_stealing: config.work_stealing,
                     priority_lanes: config.priority_lanes,
@@ -316,7 +339,7 @@ impl Fleet {
             registry: RwLock::new(BTreeMap::new()),
             next_id: AtomicU64::new(0),
             inflight,
-            sched,
+            instruments,
             pool,
             started: Instant::now(),
         }
@@ -325,6 +348,13 @@ impl Fleet {
     /// The runtime's sizing.
     pub fn config(&self) -> &FleetConfig {
         &self.config
+    }
+
+    /// The stats registry this fleet emits into (`"fleet"` stage) — hand
+    /// it to a [`sieve_stats::Collector`] for time series, or register
+    /// further stages beside the fleet's.
+    pub fn stats_registry(&self) -> &Arc<StatsRegistry> {
+        &self.instruments.registry
     }
 
     /// Admits a stream driven by `selector`'s streaming session. The
@@ -444,14 +474,20 @@ impl Fleet {
             })
             .is_err()
         {
-            cell.counters.shed.fetch_add(1, Ordering::Relaxed);
+            cell.counters.shed.inc();
+            if let Some(emit) = &self.instruments.emit {
+                emit.shed.inc();
+            }
             return Ok(Ingest::Shed(ShedCause::GlobalBudget));
         }
         // Count the frame as queued *before* publishing it: once try_push
         // succeeds the shard worker may pop (and decrement) immediately,
         // and a decrement racing ahead of the increment would wrap the
         // depth counter.
-        cell.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+        cell.counters.queue_depth.inc();
+        if let Some(emit) = &self.instruments.emit {
+            emit.queue_depth.inc();
+        }
         match self.queues[shard].try_push(id.0, QueuedFrame::now(packet)) {
             PushOutcome::Queued => {
                 // A backlogged home shard means idle neighbours should come
@@ -470,14 +506,21 @@ impl Fleet {
                 Ok(Ingest::Queued)
             }
             PushOutcome::Shed => {
-                cell.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                cell.counters.queue_depth.dec();
                 self.inflight.fetch_sub(1, Ordering::AcqRel);
-                cell.counters.shed.fetch_add(1, Ordering::Relaxed);
+                cell.counters.shed.inc();
+                if let Some(emit) = &self.instruments.emit {
+                    emit.queue_depth.dec();
+                    emit.shed.inc();
+                }
                 Ok(Ingest::Shed(ShedCause::QueueFull))
             }
             PushOutcome::NoSuchLane | PushOutcome::LaneClosed => {
-                cell.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                cell.counters.queue_depth.dec();
                 self.inflight.fetch_sub(1, Ordering::AcqRel);
+                if let Some(emit) = &self.instruments.emit {
+                    emit.queue_depth.dec();
+                }
                 Err(FleetError::StreamClosed(id))
             }
         }
@@ -514,7 +557,7 @@ impl Fleet {
                         .snapshot(StreamId(id), &e.label, e.selector, e.target_rate)
                 })
                 .collect(),
-            &self.sched,
+            &self.instruments,
         )
     }
 
@@ -589,7 +632,7 @@ struct ShardCtx {
     queues: Vec<Arc<ShardQueue<QueuedFrame>>>,
     states: Vec<Arc<Mutex<BTreeMap<u64, StreamWorker>>>>,
     inflight: Arc<AtomicUsize>,
-    sched: Arc<SchedStats>,
+    instruments: Arc<FleetInstruments>,
     pool: Arc<DecoderPool>,
     work_stealing: bool,
     priority_lanes: bool,
@@ -598,11 +641,11 @@ struct ShardCtx {
 /// Decides one frame with the stream's own session and counters; returns
 /// nothing — every outcome is accounted in the worker's cell.
 fn process_frame(ctx: &ShardCtx, worker: &mut StreamWorker, qf: QueuedFrame) {
-    worker
-        .cell
-        .counters
-        .queue_depth
-        .fetch_sub(1, Ordering::Relaxed);
+    worker.cell.counters.queue_depth.dec();
+    let emit = ctx.instruments.emit.as_ref();
+    if let Some(emit) = emit {
+        emit.queue_depth.dec();
+    }
     let packet = qf.packet;
     let payload_len = packet.payload.len() as u64;
     let outcome =
@@ -613,28 +656,39 @@ fn process_frame(ctx: &ShardCtx, worker: &mut StreamWorker, qf: QueuedFrame) {
     let counters = &worker.cell.counters;
     match outcome {
         EdgeOutcome::Kept(frame) => {
-            counters.kept.fetch_add(1, Ordering::Relaxed);
-            counters
-                .kept_payload_bytes
-                .fetch_add(payload_len, Ordering::Relaxed);
+            counters.kept.inc();
+            counters.kept_payload_bytes.add(payload_len);
+            if let Some(emit) = emit {
+                emit.kept.inc();
+                emit.kept_payload_bytes.add(payload_len);
+            }
             if let Some(sink) = &mut worker.on_keep {
                 sink(packet.index, &frame);
             }
         }
         EdgeOutcome::Dropped => {
-            counters.dropped.fetch_add(1, Ordering::Relaxed);
+            counters.dropped.inc();
+            if let Some(emit) = emit {
+                emit.dropped.inc();
+            }
         }
         EdgeOutcome::Failed => {
-            counters.failed.fetch_add(1, Ordering::Relaxed);
+            counters.failed.inc();
+            if let Some(emit) = emit {
+                emit.failed.inc();
+            }
         }
     }
-    counters.processed.fetch_add(1, Ordering::Relaxed);
+    counters.processed.inc();
+    if let Some(emit) = emit {
+        emit.processed.inc();
+    }
     worker.keep_ewma = update_ewma(worker.keep_ewma, kept);
     ctx.inflight.fetch_sub(1, Ordering::AcqRel);
     #[cfg(not(feature = "model-check"))]
-    ctx.sched
+    ctx.instruments
         .latency
-        .record_micros(qf.enqueued.elapsed().as_micros() as u64);
+        .record(qf.enqueued.elapsed().as_micros() as u64);
 }
 
 /// The weight to install when releasing a lane (None leaves it alone, and
@@ -709,6 +763,7 @@ fn steal_round(ctx: &ShardCtx) -> bool {
                 let worker = ctx.states[victim].lock().remove(&key);
                 match worker {
                     Some(mut worker) => {
+                        worker.cell.counters.stolen.add(taken);
                         for qf in items {
                             process_frame(ctx, &mut worker, qf);
                             // Home arrivals are fresh; the stolen batch is
@@ -732,11 +787,11 @@ fn steal_round(ctx: &ShardCtx) -> bool {
                         ctx.queues[victim].complete(key, None);
                     }
                 }
-                ctx.sched.stolen.fetch_add(taken, Ordering::Relaxed);
+                ctx.instruments.stolen.add(taken);
                 return true;
             }
             Steal::Contended => {
-                ctx.sched.steal_fail.fetch_add(1, Ordering::Relaxed);
+                ctx.instruments.steal_fail.inc();
             }
             Steal::Empty => {}
         }

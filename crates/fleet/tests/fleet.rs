@@ -87,6 +87,7 @@ fn single_stream_fleet_matches_run_live_analysis() {
                 max_streams: 4,
                 work_stealing: stealing,
                 priority_lanes: stealing,
+                ..FleetConfig::default()
             });
             let fleet_selector = make();
             let id = fleet

@@ -30,7 +30,7 @@ pub mod topology;
 
 pub use calibrate::{measure_secs, CostProfile};
 pub use des::Simulator;
-pub use live::{run_live, LiveItem, LiveReport, LiveStage, StageResult};
+pub use live::{run_live, run_live_in, LiveItem, LiveReport, LiveStage, StageResult};
 pub use pipeline::{ItemResult, Pipeline, PipelineReport, StageSpec, StepWork};
 pub use shard::{GuardedPop, Popped, PushOutcome, ShardQueue, Steal, MAX_LANE_WEIGHT};
 pub use time::SimTime;

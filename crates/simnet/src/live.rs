@@ -12,6 +12,10 @@
 //! failures* (decode errors, malformed payloads — counted in
 //! [`LiveReport::failed`]), so a deployment report can tell "the edge
 //! filtered 97% of frames" apart from "the edge choked on 3 frames".
+//! Counting is lock-free (`sieve-stats` counters, one relaxed atomic per
+//! event), and [`run_live_in`] mirrors every stage's activity into a
+//! shared [`sieve_stats::Registry`] (`live.*` instruments) so a collector
+//! or dashboard can watch a run in flight.
 
 // lint:allow-file(no-wall-clock): the live runtime reports real elapsed time by design
 
@@ -19,8 +23,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use sieve_stats::{Counter, Registry};
 
-use crate::sync::{thread, Mutex};
+use crate::sync::thread;
 
 /// An item flowing through the live pipeline.
 #[derive(Debug, Clone)]
@@ -119,6 +124,22 @@ impl LiveReport {
     }
 }
 
+/// The counters one stage thread updates: per-run locals backing the
+/// [`LiveReport`] (exact per-stage semantics even when stage names
+/// repeat), plus the cumulative `live.*` registry instruments a dashboard
+/// samples (absent when the run has no registry attached).
+struct StageTaps {
+    /// This stage's emitted-item count (report-local, lock-free).
+    out: Arc<Counter>,
+    /// Run-local policy-drop total.
+    dropped: Arc<Counter>,
+    /// Run-local processing-failure total.
+    failed: Arc<Counter>,
+    /// Cumulative registry mirrors: `live.<name>.out`, `live.dropped`,
+    /// `live.failed`.
+    emit: Option<(Arc<Counter>, Arc<Counter>, Arc<Counter>)>,
+}
+
 /// Runs `items` through `stages` with bounded channels of `capacity`.
 /// Blocks until every item has drained; returns the report.
 ///
@@ -127,26 +148,68 @@ impl LiveReport {
 /// Panics if `stages` is empty, `capacity` is zero, or a stage thread
 /// panics.
 pub fn run_live(stages: Vec<LiveStage>, items: Vec<LiveItem>, capacity: usize) -> LiveReport {
+    run_live_inner(None, stages, items, capacity)
+}
+
+/// [`run_live`], additionally mirroring stage activity into `registry`
+/// under the `"live"` stage: `live.<stage-name>.out` per stage, plus
+/// `live.dropped`, `live.failed`, `live.delivered` and
+/// `live.delivered_bytes`. Registry counters are *cumulative* across runs
+/// sharing the registry (stages with the same name share one instrument);
+/// the returned [`LiveReport`] stays exact per run and per stage.
+///
+/// # Panics
+///
+/// Same contract as [`run_live`], plus the registry panics if a `live.*`
+/// name is already registered as a non-counter instrument.
+pub fn run_live_in(
+    registry: &Arc<Registry>,
+    stages: Vec<LiveStage>,
+    items: Vec<LiveItem>,
+    capacity: usize,
+) -> LiveReport {
+    run_live_inner(Some(registry), stages, items, capacity)
+}
+
+fn run_live_inner(
+    registry: Option<&Arc<Registry>>,
+    stages: Vec<LiveStage>,
+    items: Vec<LiveItem>,
+    capacity: usize,
+) -> LiveReport {
     assert!(!stages.is_empty(), "live pipeline needs stages");
     assert!(capacity > 0, "channel capacity must be positive");
     let n = stages.len();
-    let counters: Vec<Arc<Mutex<u64>>> = (0..n).map(|_| Arc::new(Mutex::new(0))).collect();
-    let dropped = Arc::new(Mutex::new(0u64));
-    let failed = Arc::new(Mutex::new(0u64));
+    let live = registry.map(|r| r.stage("live"));
+    let counters: Vec<Arc<Counter>> = (0..n).map(|_| Arc::new(Counter::new())).collect();
+    let dropped = Arc::new(Counter::new());
+    let failed = Arc::new(Counter::new());
 
     let (first_tx, mut prev_rx) = bounded::<LiveItem>(capacity);
     let mut handles = Vec::new();
     for (i, stage) in stages.into_iter().enumerate() {
         let (tx, rx) = bounded::<LiveItem>(capacity);
-        let counter = counters[i].clone();
-        let drop_counter = dropped.clone();
-        let fail_counter = failed.clone();
+        let taps = StageTaps {
+            out: counters[i].clone(),
+            dropped: dropped.clone(),
+            failed: failed.clone(),
+            emit: live.as_ref().map(|s| {
+                (
+                    s.counter(&format!("{}.out", stage.name)),
+                    s.counter("dropped"),
+                    s.counter("failed"),
+                )
+            }),
+        };
         handles.push(thread::spawn(move || {
-            stage_loop(stage, prev_rx, tx, counter, drop_counter, fail_counter);
+            stage_loop(stage, prev_rx, tx, taps);
         }));
         prev_rx = rx;
     }
     let sink_rx: Receiver<LiveItem> = prev_rx;
+    let emit_delivered = live
+        .as_ref()
+        .map(|s| (s.counter("delivered"), s.counter("delivered_bytes")));
 
     let t0 = Instant::now();
     let feeder = thread::spawn(move || {
@@ -161,6 +224,10 @@ pub fn run_live(stages: Vec<LiveStage>, items: Vec<LiveItem>, capacity: usize) -
     for item in sink_rx.iter() {
         delivered += 1;
         delivered_bytes += item.payload.len() as u64;
+        if let Some((count, bytes)) = &emit_delivered {
+            count.inc();
+            bytes.add(item.payload.len() as u64);
+        }
     }
     let wall = t0.elapsed();
     // lint:allow(no-unwrap): re-raising feeder panics is run_live's documented panic contract
@@ -169,27 +236,17 @@ pub fn run_live(stages: Vec<LiveStage>, items: Vec<LiveItem>, capacity: usize) -
         // lint:allow(no-unwrap): re-raising stage panics is run_live's documented panic contract
         h.join().expect("stage panicked");
     }
-    let dropped_count = *dropped.lock();
-    let failed_count = *failed.lock();
-    let stage_outputs = counters.iter().map(|c| *c.lock()).collect();
     LiveReport {
         delivered,
-        dropped: dropped_count,
-        failed: failed_count,
+        dropped: dropped.get(),
+        failed: failed.get(),
         wall,
-        stage_outputs,
+        stage_outputs: counters.iter().map(|c| c.get()).collect(),
         delivered_bytes,
     }
 }
 
-fn stage_loop(
-    mut stage: LiveStage,
-    rx: Receiver<LiveItem>,
-    tx: Sender<LiveItem>,
-    counter: Arc<Mutex<u64>>,
-    dropped: Arc<Mutex<u64>>,
-    failed: Arc<Mutex<u64>>,
-) {
+fn stage_loop(mut stage: LiveStage, rx: Receiver<LiveItem>, tx: Sender<LiveItem>, taps: StageTaps) {
     for item in rx.iter() {
         match (stage.handler)(item) {
             StageResult::Emit(out) => {
@@ -197,16 +254,25 @@ fn stage_loop(
                     let secs = out.payload.len() as f64 * 8.0 / bps;
                     std::thread::sleep(Duration::from_secs_f64(secs));
                 }
-                *counter.lock() += 1;
+                taps.out.inc();
+                if let Some((out_emit, _, _)) = &taps.emit {
+                    out_emit.inc();
+                }
                 if tx.send(out).is_err() {
                     return; // downstream hung up
                 }
             }
             StageResult::Drop => {
-                *dropped.lock() += 1;
+                taps.dropped.inc();
+                if let Some((_, dropped_emit, _)) = &taps.emit {
+                    dropped_emit.inc();
+                }
             }
             StageResult::Fail => {
-                *failed.lock() += 1;
+                taps.failed.inc();
+                if let Some((_, _, failed_emit)) = &taps.emit {
+                    failed_emit.inc();
+                }
             }
         }
     }
@@ -304,5 +370,24 @@ mod tests {
     #[should_panic(expected = "needs stages")]
     fn empty_pipeline_rejected() {
         let _ = run_live(vec![], vec![], 1);
+    }
+
+    #[test]
+    fn registry_mirrors_stage_activity() {
+        let registry = Arc::new(Registry::new());
+        let stages = vec![LiveStage::compute("edge", |it: LiveItem| {
+            if it.id.is_multiple_of(2) {
+                StageResult::Emit(it)
+            } else {
+                StageResult::Drop
+            }
+        })];
+        let report = run_live_in(&registry, stages, items(10, 4), 4);
+        assert_eq!(report.delivered, 5);
+        let sample = registry.sample();
+        assert_eq!(sample.counters.get("live.edge.out"), Some(&5));
+        assert_eq!(sample.counters.get("live.dropped"), Some(&5));
+        assert_eq!(sample.counters.get("live.delivered"), Some(&5));
+        assert_eq!(sample.counters.get("live.delivered_bytes"), Some(&20));
     }
 }

@@ -1,0 +1,49 @@
+//! The crate's synchronization facade.
+//!
+//! `sieve-stats` sits *below* `sieve-simnet` in the dependency graph (the
+//! simnet live runtime emits through this crate), so it cannot borrow the
+//! `sieve_simnet::sync` facade — it carries its own, following the exact
+//! same pattern: normally the types resolve to the real primitives, and
+//! under the `model-check` feature they resolve to `sieve-check`'s
+//! instrumented equivalents, so instrument operations (every relaxed
+//! counter increment included) are scheduler decision points the explorer
+//! can interleave like any other shared-memory access.
+//!
+//! The facade API is the intersection the instruments need:
+//! * `Mutex` with a non-poisoning `lock()` (registry map, collector ring);
+//! * `atomic::{AtomicBool, AtomicU64, Ordering}` (counters, histograms);
+//! * `thread::{spawn, JoinHandle}` (the sampler thread — which only exists
+//!   outside `model-check` builds, where wall time is allowed).
+//!
+//! The `no-std-sync` and `no-raw-spawn` lints (`cargo xtask lint`) keep the
+//! rest of the crate from bypassing this module.
+
+#[cfg(feature = "model-check")]
+pub use sieve_check::sync::{Mutex, MutexGuard};
+
+#[cfg(feature = "model-check")]
+pub use sieve_check::sync::atomic;
+
+#[cfg(feature = "model-check")]
+pub use sieve_check::thread;
+
+#[cfg(not(feature = "model-check"))]
+pub use parking_lot::{Mutex, MutexGuard};
+
+#[cfg(not(feature = "model-check"))]
+pub use real::{atomic, thread};
+
+#[cfg(not(feature = "model-check"))]
+mod real {
+    // The facade *is* the sanctioned wrapper over std sync.
+    // lint:allow-file(no-std-sync): this module is the facade's std backend
+    // lint:allow-file(no-raw-spawn): thread::spawn is re-exported from here
+
+    /// Atomics pass straight through to `std`.
+    pub use std::sync::atomic;
+
+    /// Thread spawn/join pass straight through to `std`.
+    pub mod thread {
+        pub use std::thread::{spawn, JoinHandle};
+    }
+}

@@ -51,11 +51,15 @@ struct Rule {
     in_scope: fn(&str) -> bool,
 }
 
-/// The runtime crates whose synchronization must go through the facade.
+/// The runtime crates whose synchronization must go through a facade —
+/// `sieve_simnet::sync`, or `sieve_stats::sync` for the observability
+/// plane, which sits below simnet in the dependency graph and carries its
+/// own. Each facade's std backend file is waived with `lint:allow-file`.
 fn runtime_crate(path: &str) -> bool {
     path.starts_with("crates/simnet/src/")
         || path.starts_with("crates/fleet/src/")
         || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/stats/src/")
 }
 
 const RULES: &[Rule] = &[
@@ -69,6 +73,7 @@ const RULES: &[Rule] = &[
         in_scope: |p| {
             p.starts_with("crates/simnet/src/")
                 || p.starts_with("crates/fleet/src/")
+                || p.starts_with("crates/stats/src/")
                 || p == "crates/core/src/adapt.rs"
                 || p == "crates/core/src/live.rs"
         },
@@ -89,9 +94,10 @@ const RULES: &[Rule] = &[
     Rule {
         name: "no-wall-clock",
         message: "wall clock in a simulator path — simulations must run on \
-                  virtual SimTime to stay deterministic",
+                  virtual SimTime to stay deterministic (sieve-stats may \
+                  only read time at its cfg-gated collector epoch)",
         matcher: Matcher::Tokens(&["Instant::now", "SystemTime"]),
-        in_scope: |p| p.starts_with("crates/simnet/src/"),
+        in_scope: |p| p.starts_with("crates/simnet/src/") || p.starts_with("crates/stats/src/"),
     },
     Rule {
         // The codec crate sits below the fleet pool facade, so its one
@@ -343,6 +349,33 @@ fn f() {
             let f = check(path, "use std::sync::Mutex;\n");
             assert_eq!(f.len(), 1, "{path}: {f:?}");
             assert_eq!(f[0].rule, "no-std-sync", "{path}");
+        }
+    }
+
+    #[test]
+    fn stats_plane_files_are_in_every_runtime_scope() {
+        // The observability plane is wired into per-frame hot paths: its
+        // sources must stay on its own sync facade, panic-free, and (the
+        // collector epoch aside) wall-clock-free, or instrumented code
+        // silently drops out of the model checker and the sim guarantees.
+        for path in [
+            "crates/stats/src/counter.rs",
+            "crates/stats/src/histogram.rs",
+            "crates/stats/src/registry.rs",
+            "crates/stats/src/collector.rs",
+        ] {
+            let f = check(path, "use std::sync::Mutex;\n");
+            assert_eq!(f.len(), 1, "{path}: {f:?}");
+            assert_eq!(f[0].rule, "no-std-sync", "{path}");
+            let f = check(path, "fn f() { x.unwrap(); }\n");
+            assert_eq!(f.len(), 1, "{path}: {f:?}");
+            assert_eq!(f[0].rule, "no-unwrap", "{path}");
+            let f = check(path, "fn f() { Instant::now(); }\n");
+            assert_eq!(f.len(), 1, "{path}: {f:?}");
+            assert_eq!(f[0].rule, "no-wall-clock", "{path}");
+            let f = check(path, "fn f() { std::thread::spawn(|| {}); }\n");
+            assert_eq!(f.len(), 1, "{path}: {f:?}");
+            assert_eq!(f[0].rule, "no-raw-spawn", "{path}");
         }
     }
 

@@ -1,0 +1,317 @@
+//! `fleet_top` — a top-like terminal dashboard over the observability
+//! plane.
+//!
+//! Synthetic cameras (the Table I datasets cycled, adaptive MSE policies
+//! on every third stream) push frames at an accelerated pace against a
+//! deliberately small shard pool, and the dashboard renders, at a fixed
+//! refresh, what `sieve-stats` sees: per-stream keep/shed/steal rates
+//! (diffed between refreshes), a keep-rate sparkbar per stream, the fleet
+//! decision-latency quantiles, and the `adapt.*` counters the on-line
+//! rate controllers emit into the global registry. A
+//! [`sieve_stats::Collector`] ticks once per refresh, so the run also
+//! yields a `stats.json` time series (`--export PATH`).
+//!
+//! Run with: `cargo run --release --example fleet_top [-- --streams N]
+//! [--once] [--refresh MS] [--export PATH]`
+//!
+//! `--once` renders a single final frame after the run drains and skips
+//! the ANSI screen handling — the headless mode CI smokes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sieve::prelude::*;
+use sieve_fleet::{Fleet, FleetConfig, FleetSnapshot, FramePacket, StreamConfig, StreamId};
+use sieve_stats::Collector;
+use sieve_video::EncodedVideo;
+
+const FLEET_SEED: u64 = 0x70B;
+const TARGET_RATE: f64 = 0.1;
+const FRAMES_PER_STREAM: usize = 150;
+/// Cameras replay faster than real time to exercise shedding and stealing.
+const PACE: f64 = 20.0;
+/// Keep-rate history depth behind each sparkbar.
+const SPARK_WIDTH: usize = 24;
+
+struct Args {
+    streams: usize,
+    once: bool,
+    refresh: Duration,
+    export: Option<String>,
+}
+
+/// One synthetic camera: label, pre-encoded feed, policy, target rate.
+type Camera = (
+    String,
+    EncodedVideo,
+    Box<dyn FrameSelector + Send>,
+    Option<f64>,
+);
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    Args {
+        streams: flag_value("--streams")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(8),
+        once: argv.iter().any(|a| a == "--once"),
+        refresh: Duration::from_millis(
+            flag_value("--refresh")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(500),
+        ),
+        export: flag_value("--export"),
+    }
+}
+
+/// One row of glyphs for a history of values in `[0, 1]`.
+fn sparkbar(history: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    history
+        .iter()
+        .map(|&v| GLYPHS[((v.clamp(0.0, 1.0) * 7.0).round()) as usize])
+        .collect()
+}
+
+/// Per-second rate of a counter delta over `dt`.
+fn rate(now: u64, then: u64, dt: Duration) -> f64 {
+    let secs = dt.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        now.saturating_sub(then) as f64 / secs
+    }
+}
+
+/// Everything one refresh frame renders, derived from two snapshots.
+fn render(
+    prev: &FleetSnapshot,
+    now: &FleetSnapshot,
+    dt: Duration,
+    sparks: &mut std::collections::BTreeMap<StreamId, Vec<f64>>,
+    collector: &Collector,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>9} {:>8} {:>8} {:>8}  {:<24}\n",
+        "stream", "seen", "keep/s", "shed/s", "steal/s", "rate", "keep history"
+    ));
+    for s in &now.streams {
+        let before = prev.streams.iter().find(|p| p.id == s.id);
+        let (p_proc, p_kept, p_shed, p_stolen) =
+            before.map_or((0, 0, 0, 0), |p| (p.processed, p.kept, p.shed, p.stolen));
+        let keep_rate = rate(s.kept, p_kept, dt);
+        let decided = s.processed.saturating_sub(p_proc);
+        let kept_frac = if decided == 0 {
+            s.achieved_rate()
+        } else {
+            s.kept.saturating_sub(p_kept) as f64 / decided as f64
+        };
+        let history = sparks.entry(s.id).or_default();
+        history.push(kept_frac);
+        if history.len() > SPARK_WIDTH {
+            history.remove(0);
+        }
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>9.1} {:>8.1} {:>8.1} {:>8.3}  {:<24}\n",
+            s.label,
+            s.processed,
+            keep_rate,
+            rate(s.shed, p_shed, dt),
+            rate(s.stolen, p_stolen, dt),
+            s.achieved_rate(),
+            sparkbar(history),
+        ));
+    }
+    let agg = &now.aggregate;
+    out.push_str(&format!(
+        "\nfleet: {} decided | {} kept | {} shed | queue {} | stolen {} (+{}/s) | steal_fail {}\n",
+        agg.processed,
+        agg.kept,
+        agg.shed,
+        agg.queue_depth,
+        now.stolen,
+        rate(now.stolen, prev.stolen, dt) as u64,
+        now.steal_fail,
+    ));
+    match &now.decision_latency {
+        Some(lat) => out.push_str(&format!(
+            "latency: p50 {}us | p99 {}us over {} decisions\n",
+            lat.p50_us, lat.p99_us, lat.count
+        )),
+        None => out.push_str("latency: no decisions yet\n"),
+    }
+    // The collector's cumulative series: p99 latency per tick, sparkbarred
+    // against the worst tick seen, plus the adapt stage's counters.
+    let points = collector.points();
+    let p99s: Vec<u64> = points
+        .iter()
+        .filter_map(|p| p.histograms.get("fleet.decision_latency_us"))
+        .map(|h| h.p99)
+        .collect();
+    let worst = p99s.iter().copied().max().unwrap_or(0).max(1);
+    let p99_history: Vec<f64> = p99s.iter().map(|&v| v as f64 / worst as f64).collect();
+    let tail = p99_history.len().saturating_sub(SPARK_WIDTH);
+    out.push_str(&format!(
+        "p99 trend (worst {}us): {}\n",
+        worst,
+        sparkbar(&p99_history[tail..])
+    ));
+    if let Some(point) = points.last() {
+        let adapt = |name: &str| point.counters.get(name).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "adapt: {} scored | {} kept | {} forced keeps\n",
+            adapt("adapt.observed"),
+            adapt("adapt.kept"),
+            adapt("adapt.forced_keeps"),
+        ));
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let n = args.streams;
+
+    let cameras: Vec<Camera> = (0..n as u64)
+        .map(|i| {
+            let dataset = DatasetId::ALL[i as usize % DatasetId::ALL.len()];
+            let spec = DatasetSpec::for_stream(dataset, FLEET_SEED, i);
+            let video = spec.generate(DatasetScale::Tiny);
+            let encoded = EncodedVideo::encode(
+                video.resolution(),
+                video.fps(),
+                EncoderConfig::new(60 + 30 * (i as usize % 4), 120),
+                video.frames().take(FRAMES_PER_STREAM),
+            );
+            let (selector, target): (Box<dyn FrameSelector + Send>, Option<f64>) = match i % 3 {
+                0 => (Box::new(IFrameSelector::new()), None),
+                1 => (
+                    Box::new(MseSelector::mse(Budget::TargetRate(TARGET_RATE))),
+                    Some(TARGET_RATE),
+                ),
+                _ => (Box::new(UniformSelector::new(10)), None),
+            };
+            (format!("{dataset}#{i}"), encoded, selector, target)
+        })
+        .collect();
+
+    // Fleet, adapt controllers and the collector all share the global
+    // registry, so one sample sees every stage.
+    let registry = sieve_stats::global().clone();
+    let fleet = Fleet::with_registry(
+        FleetConfig {
+            shards: 2,
+            queue_capacity: 8,
+            global_frame_budget: 64,
+            max_streams: n.max(8),
+            ..FleetConfig::default()
+        },
+        registry.clone(),
+    );
+    let collector = Collector::new(registry);
+
+    let ids: Vec<_> = cameras
+        .iter()
+        .map(|(label, encoded, selector, target)| {
+            let mut config = StreamConfig::new(&**label, encoded.resolution(), encoded.quality());
+            if let Some(rate) = target {
+                config = config.with_target_rate(*rate);
+            }
+            fleet
+                .join(selector.as_ref(), config)
+                .expect("fleet admission")
+        })
+        .collect();
+
+    let live_feeders = Arc::new(AtomicUsize::new(cameras.len()));
+    let mut prev = fleet.snapshot();
+    let mut prev_at = Instant::now();
+    let mut sparks = std::collections::BTreeMap::new();
+    std::thread::scope(|scope| {
+        for ((_, encoded, _, _), &id) in cameras.iter().zip(&ids) {
+            let fleet = &fleet;
+            let live = live_feeders.clone();
+            let interval = Duration::from_secs_f64(1.0 / (30.0 * PACE));
+            scope.spawn(move || {
+                for (i, ef) in encoded.frames().iter().enumerate() {
+                    let _ = fleet.push(id, FramePacket::of(i, ef)).expect("push");
+                    std::thread::sleep(interval);
+                }
+                fleet.leave(id).expect("leave");
+                live.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+
+        // The render loop runs on the main thread until every feeder is
+        // done; `--once` skips intermediate frames and the ANSI clearing.
+        loop {
+            std::thread::sleep(args.refresh.min(Duration::from_millis(100)));
+            let done = live_feeders.load(Ordering::Acquire) == 0;
+            let now = fleet.snapshot();
+            let dt = prev_at.elapsed();
+            collector.tick();
+            if !args.once {
+                let frame = render(&prev, &now, dt, &mut sparks, &collector);
+                print!("\x1b[2J\x1b[H{frame}");
+            }
+            prev = now;
+            prev_at = Instant::now();
+            if done {
+                break;
+            }
+        }
+    });
+
+    // Drain fully, then render the authoritative final frame in both
+    // modes (the one CI asserts on).
+    let report = fleet.shutdown();
+    collector.tick();
+    let empty = FleetSnapshot {
+        streams: Vec::new(),
+        aggregate: Default::default(),
+        stolen: 0,
+        steal_fail: 0,
+        decision_latency: None,
+    };
+    let mut final_sparks = std::collections::BTreeMap::new();
+    print!(
+        "{}",
+        render(
+            &empty,
+            &report.snapshot,
+            report.wall,
+            &mut final_sparks,
+            &collector
+        )
+    );
+    println!(
+        "\n{} streams, {} collector points, wall {:.2?}",
+        report.snapshot.streams.len(),
+        collector.len(),
+        report.wall
+    );
+
+    if let Some(path) = &args.export {
+        let json = serde_json::to_string_pretty(&collector.export()).expect("stats serialize");
+        sieve_bench::stats_artifact::validate(&json).expect("export is schema-clean");
+        std::fs::write(path, json + "\n").expect("write stats export");
+        println!("exported {} points to {path}", collector.len());
+    }
+
+    let agg = &report.snapshot.aggregate;
+    assert_eq!(agg.queue_depth, 0, "fleet fully drained");
+    assert_eq!(
+        agg.processed + agg.shed,
+        (n * FRAMES_PER_STREAM) as u64,
+        "every pushed frame is either decided or shed"
+    );
+    assert!(!collector.is_empty(), "collector must have sampled the run");
+}

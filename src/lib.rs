@@ -15,6 +15,7 @@
 //! | [`datasets`] | `sieve-datasets` | deterministic synthetic analogues of the paper's five surveillance datasets |
 //! | [`nn`] | `sieve-nn` | CNN inference/training engine + Neurosurgeon-style edge/cloud partitioning |
 //! | [`filters`] | `sieve-filters` | MSE / SIFT / uniform-sampling baselines |
+//! | [`stats`] | `sieve-stats` | lock-free observability plane: counters, histograms, registry, time-series collector |
 //! | [`simnet`] | `sieve-simnet` | dataflow engine, 3-tier topology, DES + live threaded runtime |
 //! | [`core`] | `sieve-core` | SiEVE itself: offline tuner, I-frame seeker, metrics, end-to-end pipelines |
 //! | [`fleet`] | `sieve-fleet` | multi-stream edge runtime: admission, sharded scheduling with load shedding, on-line adaptive selection |
@@ -40,6 +41,7 @@ pub use sieve_filters as filters;
 pub use sieve_fleet as fleet;
 pub use sieve_nn as nn;
 pub use sieve_simnet as simnet;
+pub use sieve_stats as stats;
 pub use sieve_video as video;
 
 /// The most commonly used items across all subsystems.
@@ -65,6 +67,7 @@ pub mod prelude {
         TrainConfig,
     };
     pub use sieve_simnet::{run_live, CostProfile, LiveItem, LiveStage, ThreeTier};
+    pub use sieve_stats::{Collector, Counter, Gauge, Histogram, Registry};
     pub use sieve_video::{
         BitstreamStats, EncodedVideo, Encoder, EncoderConfig, Frame, FrameType, Resolution,
         VideoIndex,
