@@ -14,6 +14,7 @@
 //! | `ablations` | scenecut/GOP sweeps, object-size↔scenecut, NN split |
 //! | `fleet_scale` | beyond the paper: aggregate edge throughput vs. concurrent stream count on a fixed `sieve-fleet` worker pool |
 //! | `codec_bench` | beyond the paper: raw codec speed — SIMD kernel tier and GOP-parallel encode vs the scalar tier, tracked in `BENCH_codec.json` |
+//! | `fig4_fleet` | beyond the paper: the fleet's kept frames over a bandwidth-capped lossy WAN — FEC × feedback A/B over a loss sweep, tracked in `BENCH_wan.json` |
 //!
 //! Run any of them with `cargo run --release -p sieve-bench --bin <name>`.
 //! Pass `--scale small` (default `tiny`) for longer, higher-resolution runs.
@@ -24,6 +25,7 @@ pub mod fleet_artifact;
 pub mod harness;
 pub mod report;
 pub mod stats_artifact;
+pub mod wan_artifact;
 
 use sieve_datasets::DatasetScale;
 

@@ -24,9 +24,23 @@
 //! `"adapt"` stage (`adapt.observed`, `adapt.kept`, `adapt.forced_keeps`)
 //! — observation only, never an input to a decision, so determinism is
 //! unaffected.
+//!
+//! # WAN feedback
+//!
+//! A hostile uplink changes what "the right sampling rate" is: when the
+//! WAN drops more than its FEC can repair, shipping fewer frames beats
+//! shipping corrupt gaps. [`WanFeedback`] is one receiver-side quantum of
+//! loss/recovery counts (produced by `sieve-net` from the same `wan.*`
+//! registry series the operator watches), and [`WanSignal`] folds those
+//! quanta into a multiplicative-decrease / additive-increase *target
+//! factor* in `[MIN_WAN_FACTOR, 1]`. Every controller scales its requested
+//! rate by its signal's factor ([`RateController::effective_target`]);
+//! controllers share the process-wide [`wan_signal`] by default, so one
+//! congested uplink tightens every stream it carries.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use sieve_simnet::sync::atomic::{AtomicU64, Ordering};
 use sieve_stats::Counter;
 
 use crate::error::SieveError;
@@ -205,6 +219,160 @@ impl P2Quantile {
     }
 }
 
+/// One feedback quantum from a WAN receiver: what happened to the packets
+/// and FEC blocks sent during the quantum, counted edge-ward after the
+/// feedback delay. All plain counts — the control law never needs a
+/// denominator, so a quantum is meaningful at any send rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WanFeedback {
+    /// Packets the channel's loss model erased — corruption-style loss,
+    /// *not* congestion; see [`WanFeedback::congestion_dropped`].
+    pub lost: u64,
+    /// Packets tail-dropped by the bottleneck queue. Kept apart from
+    /// [`WanFeedback::lost`] because the control response differs: random
+    /// erasure is FEC's job and sending slower does not reduce it, while
+    /// congestion drops mean the offered load exceeds the link and the
+    /// sender must back off *before* whole blocks start dying.
+    pub congestion_dropped: u64,
+    /// Packets delivered but ECN-marked: they arrived to a standing
+    /// bottleneck queue. The earliest congestion signal — it fires while
+    /// the queue still has headroom, before anything is dropped, so the
+    /// sender can back off without paying for the lesson in lost blocks.
+    pub marked: u64,
+    /// Packets that arrived out of order.
+    pub reordered: u64,
+    /// Blocks delivered only thanks to FEC recovery.
+    pub recovered: u64,
+    /// Blocks lost beyond FEC's repair capability.
+    pub unrecoverable: u64,
+    /// Payload bytes of delivered (or recovered) blocks.
+    pub delivered_bytes: u64,
+}
+
+/// The floor of the WAN target factor: a collapsed channel still samples
+/// at one fifth of the requested rate rather than going dark.
+pub const MIN_WAN_FACTOR: f64 = 0.2;
+
+/// Multiplicative decrease applied per quantum with unrecoverable blocks.
+const WAN_DECREASE: f64 = 0.7;
+/// Feedback quanta to hold after a multiplicative decrease before another
+/// one may fire. The edge controllers need several quanta of observations
+/// to actually shed load after the factor drops; without this hold-off a
+/// single overload episode triggers a decrease *per quantum* while the
+/// queue drains, slamming the factor to the floor long before the edge
+/// had a chance to react — the WAN analogue of TCP's one window
+/// reduction per round trip.
+pub const WAN_MD_HOLDOFF_QUANTA: u64 = 10;
+/// Additive increase per clean quantum (no loss at all). Deliberately
+/// gentle: congestion is detected by an *integral* signal (the standing
+/// queue crossing the ECN threshold), so a fast probe overshoots far past
+/// the link rate before the queue can say so, and every AIMD cycle peak
+/// then rides the backlog into the drop bound. Probing at 0.02/quantum
+/// keeps the overshoot inside the queue's headroom.
+const WAN_INCREASE: f64 = 0.02;
+/// Slow creep per quantum where FEC repaired everything the channel lost
+/// — the channel is coping, probe upward gently.
+const WAN_CREEP: f64 = 0.005;
+
+/// Fixed-point scale of the shared factor (parts per million).
+const WAN_PPM: f64 = 1e6;
+
+/// A shared WAN target factor: the AIMD state one uplink's feedback loop
+/// writes and every coupled [`RateController`] reads.
+///
+/// Quanta with unrecoverable blocks, congestion drops *or* ECN marks
+/// multiply the factor by 0.7 (clamped at [`MIN_WAN_FACTOR`]) — marks
+/// back the sender off while the queue and FEC are still absorbing the
+/// damage, before blocks die. Clean quanta add 0.02 back (clamped at
+/// 1.0); quanta whose random losses FEC fully repaired creep up by 0.005
+/// — erasure loss is not a back-off signal, since sending slower does
+/// not reduce it.
+/// Under a congested channel this is classic AIMD: the factor oscillates
+/// just under the rate the link can carry. Decreases are rate-limited to
+/// one per [`WAN_MD_HOLDOFF_QUANTA`] quanta so a single queue-drain
+/// episode cannot cascade into a collapse (see [`WanSignal::apply`]). The
+/// factor is stored as parts per million in one atomic, so readers on the
+/// per-frame decision path pay a single relaxed load.
+pub struct WanSignal {
+    factor_ppm: AtomicU64,
+    /// Quanta left before the next multiplicative decrease may fire.
+    /// Written only by the (single) feedback loop; plain load/store is
+    /// enough.
+    md_holdoff: AtomicU64,
+}
+
+impl WanSignal {
+    /// A signal at factor 1.0 (no WAN pressure).
+    pub fn new() -> Self {
+        Self {
+            factor_ppm: AtomicU64::new(WAN_PPM as u64),
+            md_holdoff: AtomicU64::new(0),
+        }
+    }
+
+    /// The current target factor in `[MIN_WAN_FACTOR, 1]`.
+    pub fn factor(&self) -> f64 {
+        self.factor_ppm.load(Ordering::Relaxed) as f64 / WAN_PPM
+    }
+
+    /// Folds in one feedback quantum; returns the updated factor.
+    ///
+    /// At most one multiplicative decrease fires per
+    /// [`WAN_MD_HOLDOFF_QUANTA`]-quantum window: congested quanta inside
+    /// the window hold the factor steady (the previous decrease is still
+    /// propagating to the edge), while increases are never held — a clean
+    /// quantum means the episode is over.
+    pub fn apply(&self, fb: &WanFeedback) -> f64 {
+        let f = self.factor();
+        let holdoff = self.md_holdoff.load(Ordering::Relaxed);
+        if holdoff > 0 {
+            self.md_holdoff.store(holdoff - 1, Ordering::Relaxed);
+        }
+        let congested = fb.unrecoverable > 0 || fb.congestion_dropped > 0 || fb.marked > 0;
+        let next = if congested && holdoff == 0 {
+            self.md_holdoff
+                .store(WAN_MD_HOLDOFF_QUANTA, Ordering::Relaxed);
+            (f * WAN_DECREASE).max(MIN_WAN_FACTOR)
+        } else if congested {
+            f
+        } else if fb.lost > 0 || fb.recovered > 0 {
+            (f + WAN_CREEP).min(1.0)
+        } else {
+            (f + WAN_INCREASE).min(1.0)
+        };
+        self.factor_ppm
+            .store((next * WAN_PPM).round() as u64, Ordering::Relaxed);
+        next
+    }
+
+    /// Resets the factor to 1.0 (e.g. between experiment configurations).
+    pub fn reset(&self) {
+        self.factor_ppm.store(WAN_PPM as u64, Ordering::Relaxed);
+        self.md_holdoff.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for WanSignal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for WanSignal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WanSignal")
+            .field("factor", &self.factor())
+            .finish()
+    }
+}
+
+/// The process-wide WAN signal every [`RateController::new`] couples to.
+/// Stays at factor 1.0 (no effect) until a WAN feedback loop writes it.
+pub fn wan_signal() -> &'static Arc<WanSignal> {
+    static SIGNAL: OnceLock<Arc<WanSignal>> = OnceLock::new();
+    SIGNAL.get_or_init(|| Arc::new(WanSignal::new()))
+}
+
 /// Retargets a change-score threshold on-line so that the keep rate tracks
 /// a requested sampling rate, with no offline calibration pass.
 ///
@@ -241,6 +409,14 @@ pub struct RateController {
     gain: f64,
     observed: u64,
     kept: u64,
+    /// Running integral of the *effective* target over observations: the
+    /// keep-debt baseline, so WAN tightening retargets the cumulative rate
+    /// too, not just the per-frame indicator.
+    target_integral: f64,
+    /// The WAN factor as of the last observation, for the feed-forward
+    /// threshold jump when the factor moves.
+    last_factor: f64,
+    wan: Arc<WanSignal>,
     stats: AdaptStats,
 }
 
@@ -272,11 +448,23 @@ impl RateController {
     ///
     /// Returns [`SieveError::Selector`] for a target outside `(0, 1]`.
     pub fn new(target: f64) -> Result<Self, SieveError> {
+        Self::with_wan_signal(target, wan_signal().clone())
+    }
+
+    /// [`RateController::new`], coupled to `signal` instead of the
+    /// process-wide [`wan_signal`] — for tests and side-by-side A/B runs
+    /// that must not share WAN state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::Selector`] for a target outside `(0, 1]`.
+    pub fn with_wan_signal(target: f64, signal: Arc<WanSignal>) -> Result<Self, SieveError> {
         if !(target > 0.0 && target <= 1.0) {
             return Err(SieveError::selector(format!(
                 "target sampling rate {target} outside (0, 1]"
             )));
         }
+        let last_factor = signal.factor();
         Ok(Self {
             target,
             quantile: P2Quantile::new(1.0 - target),
@@ -286,6 +474,9 @@ impl RateController {
             gain: 0.04,
             observed: 0,
             kept: 0,
+            target_integral: 0.0,
+            last_factor,
+            wan: signal,
             stats: AdaptStats::resolve(),
         })
     }
@@ -293,6 +484,21 @@ impl RateController {
     /// The requested sampling rate.
     pub fn target(&self) -> f64 {
         self.target
+    }
+
+    /// The rate the controller is steering toward right now: the requested
+    /// target scaled by the coupled [`WanSignal`]'s factor. Equal to
+    /// [`RateController::target`] while the WAN is healthy.
+    pub fn effective_target(&self) -> f64 {
+        self.target * self.wan.factor()
+    }
+
+    /// Folds one WAN feedback quantum into the coupled signal — the
+    /// edge-ward half of the `sieve-net` feedback loop. Sustained
+    /// unrecoverable loss tightens [`RateController::effective_target`];
+    /// clean quanta ease it back toward the requested target.
+    pub fn apply_wan_feedback(&mut self, fb: &WanFeedback) {
+        self.wan.apply(fb);
     }
 
     /// The threshold the next score will be compared against. Before any
@@ -306,9 +512,32 @@ impl RateController {
         }
     }
 
+    /// Feed-forward for WAN factor moves: when the effective target jumps,
+    /// shift the threshold immediately by the exponential-tail estimate of
+    /// the quantile displacement — moving the keep rate from `r` to `r'`
+    /// takes a threshold shift of `spread × ln(r / r')` under an
+    /// exponential upper tail — instead of waiting for the
+    /// stochastic-approximation loop to walk there one small step per
+    /// frame. The SA loop then corrects whatever the tail model got wrong.
+    /// Without this the edge lags the WAN signal by seconds of
+    /// observations, and a congestion back-off only reaches the wire after
+    /// the queue has already paid for the delay in dropped packets.
+    fn feed_forward(&mut self) {
+        let factor = self.wan.factor();
+        if (factor - self.last_factor).abs() < 1e-12 {
+            return;
+        }
+        let scale = self.spread.value_or(0.0);
+        if scale > 0.0 && factor > 0.0 && self.last_factor > 0.0 {
+            self.bias += scale * (self.last_factor / factor).ln();
+        }
+        self.last_factor = factor;
+    }
+
     /// Observes one change score and decides whether to keep the frame,
     /// updating every running statistic.
     pub fn observe(&mut self, score: f64) -> bool {
+        self.feed_forward();
         let keep = score > self.threshold();
         self.observed += 1;
         self.stats.observed.inc();
@@ -343,8 +572,10 @@ impl RateController {
         // overshoot — e.g. a level shift the cumulative quantile absorbs
         // slowly — so the cumulative sampling rate, not just the recent
         // one, converges to the target.
-        let indicator = if keep { 1.0 } else { 0.0 } - self.target;
-        let debt = self.kept as f64 - self.target * self.observed as f64;
+        let target = self.effective_target();
+        self.target_integral += target;
+        let indicator = if keep { 1.0 } else { 0.0 } - target;
+        let debt = self.kept as f64 - self.target_integral;
         self.bias += step * (indicator + (debt / 8.0).clamp(-1.0, 1.0));
         keep
     }
@@ -354,6 +585,7 @@ impl RateController {
     pub fn note_forced_keep(&mut self) {
         self.observed += 1;
         self.kept += 1;
+        self.target_integral += self.effective_target();
         self.stats.observed.inc();
         self.stats.kept.inc();
         self.stats.forced_keeps.inc();
@@ -530,6 +762,78 @@ mod tests {
         rc.note_forced_keep();
         assert_eq!(rc.observed(), 1);
         assert!((rc.achieved_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wan_signal_aimd_law() {
+        let s = WanSignal::new();
+        assert!((s.factor() - 1.0).abs() < 1e-9);
+        // Unrecoverable loss: multiplicative decrease down to the floor.
+        let bad = WanFeedback {
+            unrecoverable: 3,
+            lost: 10,
+            ..WanFeedback::default()
+        };
+        s.apply(&bad);
+        assert!((s.factor() - 0.7).abs() < 1e-6);
+        // A second congested quantum inside the hold-off window must NOT
+        // decrease again — the first decrease is still propagating.
+        s.apply(&bad);
+        assert!((s.factor() - 0.7).abs() < 1e-6, "held during MD hold-off");
+        // Persistent congestion still walks the factor to the floor, one
+        // decrease per hold-off window.
+        for _ in 0..100 {
+            s.apply(&bad);
+        }
+        assert!((s.factor() - MIN_WAN_FACTOR).abs() < 1e-6, "floored");
+        // FEC coping (loss but fully recovered): slow upward creep.
+        let coping = WanFeedback {
+            lost: 5,
+            recovered: 2,
+            ..WanFeedback::default()
+        };
+        let before = s.factor();
+        s.apply(&coping);
+        assert!((s.factor() - before - 0.005).abs() < 1e-6);
+        // Clean quanta: additive increase back to 1.0.
+        for _ in 0..60 {
+            s.apply(&WanFeedback::default());
+        }
+        assert!((s.factor() - 1.0).abs() < 1e-9, "recovered to 1.0");
+        // Congestion drops back off even when FEC kept every block alive:
+        // the queue is already overflowing, waiting for dead blocks would
+        // react a whole FEC group too late.
+        s.apply(&WanFeedback {
+            congestion_dropped: 1,
+            recovered: 1,
+            ..WanFeedback::default()
+        });
+        assert!(
+            (s.factor() - 0.7).abs() < 1e-6,
+            "congestion is an MD signal"
+        );
+        s.apply(&bad);
+        s.reset();
+        assert!((s.factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn controller_effective_target_follows_its_signal() {
+        let signal = Arc::new(WanSignal::new());
+        let mut rc = RateController::with_wan_signal(0.3, signal.clone()).unwrap();
+        assert!((rc.effective_target() - 0.3).abs() < 1e-12);
+        rc.apply_wan_feedback(&WanFeedback {
+            unrecoverable: 1,
+            ..WanFeedback::default()
+        });
+        assert!((rc.effective_target() - 0.3 * 0.7).abs() < 1e-6);
+        assert!(
+            (rc.target() - 0.3).abs() < 1e-12,
+            "requested target is unchanged"
+        );
+        // A second controller on the same signal sees the same pressure.
+        let rc2 = RateController::with_wan_signal(0.1, signal).unwrap();
+        assert!((rc2.effective_target() - 0.1 * 0.7).abs() < 1e-6);
     }
 
     mod properties {

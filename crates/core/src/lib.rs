@@ -52,7 +52,7 @@ pub mod select;
 pub mod store;
 pub mod tuner;
 
-pub use adapt::{Ewma, P2Quantile, RateController};
+pub use adapt::{wan_signal, Ewma, P2Quantile, RateController, WanFeedback, WanSignal};
 pub use error::SieveError;
 pub use events::{analyze, analyze_selected, analyze_sieve, AnalysisResult};
 pub use live::{run_live_analysis, EdgeOutcome, EdgeSession, LiveAnalysis, LiveConfig};

@@ -228,8 +228,11 @@ impl StreamWorker {
     }
 }
 
-/// Callback invoked on the shard thread for every kept frame.
-pub type KeepSink = Box<dyn FnMut(usize, &Frame) + Send>;
+/// Callback invoked on the shard thread for every kept frame: the frame
+/// index, the decoded pixels, and the encoded payload that produced them —
+/// the bytes an uplink ships. The payload is cloned ahead of the decode
+/// only for streams that attach a sink; sink-less streams pay nothing.
+pub type KeepSink = Box<dyn FnMut(usize, &Frame, &[u8]) + Send>;
 
 /// The registry's view of one stream.
 struct StreamEntry {
@@ -648,6 +651,9 @@ fn process_frame(ctx: &ShardCtx, worker: &mut StreamWorker, qf: QueuedFrame) {
     }
     let packet = qf.packet;
     let payload_len = packet.payload.len() as u64;
+    // The decode consumes the payload; keep a copy only when a sink will
+    // want the encoded bytes back (uplink wiring).
+    let uplink_payload = worker.on_keep.as_ref().map(|_| packet.payload.clone());
     let outcome =
         worker
             .session(&ctx.pool)
@@ -663,7 +669,11 @@ fn process_frame(ctx: &ShardCtx, worker: &mut StreamWorker, qf: QueuedFrame) {
                 emit.kept_payload_bytes.add(payload_len);
             }
             if let Some(sink) = &mut worker.on_keep {
-                sink(packet.index, &frame);
+                sink(
+                    packet.index,
+                    &frame,
+                    uplink_payload.as_deref().unwrap_or(&[]),
+                );
             }
         }
         EdgeOutcome::Dropped => {

@@ -146,7 +146,8 @@ fn sixteen_streams_on_a_fixed_pool() {
             .join_with_sink(
                 &IFrameSelector::new(),
                 StreamConfig::new(format!("cam-{i}"), encoded.resolution(), encoded.quality()),
-                Box::new(move |_, _| {
+                Box::new(move |_, _, payload: &[u8]| {
+                    assert!(!payload.is_empty(), "sink sees the encoded bytes");
                     kept_total.fetch_add(1, Ordering::Relaxed);
                 }),
             )

@@ -1,0 +1,357 @@
+//! Erasure coding over fragment groups: GF(256) parity that recovers
+//! **any** `R` lost fragments per group.
+//!
+//! Each block's data fragments are split into groups of up to `K`
+//! ([`FecConfig::group_data`]); every group gets `R`
+//! ([`FecConfig::group_parity`]) parity fragments. The parity rows are a
+//! Cauchy matrix over GF(256) — `coef(r, j) = inv(x_r ⊕ y_j)` with the
+//! `x` and `y` node sets disjoint — so every square submatrix is
+//! invertible and *any* combination of up to `R` missing fragments in a
+//! group is recoverable by Gaussian elimination, not just the patterns a
+//! plain XOR parity happens to cover. (XOR is the field's addition: with
+//! `R = 1` the decode degenerates to the familiar XOR chain.)
+//!
+//! The arithmetic is table-driven (one 512-byte exp table, one 256-byte
+//! log table, built once) and all fragment operations are byte-parallel
+//! loops over equal-length slices.
+
+use std::sync::OnceLock;
+
+use crate::NetError;
+
+/// The FEC shape shared by a [`crate::Packetizer`] / [`crate::Depacketizer`]
+/// pair: `group_data` (K) data fragments per group, `group_parity` (R)
+/// parity fragments appended to each group. `group_parity == 0` turns FEC
+/// off (no parity packets, no recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct FecConfig {
+    /// Data fragments per FEC group (K).
+    pub group_data: usize,
+    /// Parity fragments per FEC group (R). Zero disables FEC.
+    pub group_parity: usize,
+}
+
+impl FecConfig {
+    /// A `(K, R)` configuration.
+    ///
+    /// # Errors
+    ///
+    /// `K` must be at least 1 and `K + R` at most 255 (the Cauchy node
+    /// sets live in GF(256) and must stay disjoint).
+    pub fn new(group_data: usize, group_parity: usize) -> Result<Self, NetError> {
+        if group_data == 0 {
+            return Err(NetError::config("FEC group needs at least 1 data fragment"));
+        }
+        if group_data + group_parity > 255 {
+            return Err(NetError::config(format!(
+                "FEC group of {group_data}+{group_parity} fragments exceeds GF(256)"
+            )));
+        }
+        Ok(Self {
+            group_data,
+            group_parity,
+        })
+    }
+
+    /// FEC disabled: data fragments only.
+    pub fn off() -> Self {
+        Self {
+            group_data: 8,
+            group_parity: 0,
+        }
+    }
+
+    /// The default shape: groups of 8 data fragments, 2 parity each — 25%
+    /// overhead, any 2 losses per group repaired.
+    pub fn default_on() -> Self {
+        Self {
+            group_data: 8,
+            group_parity: 2,
+        }
+    }
+}
+
+/// exp table doubled so `exp[log a + log b]` never needs a modulo, plus
+/// the log table (`log[0]` unused).
+fn tables() -> &'static ([u8; 512], [u8; 256]) {
+    static TABLES: OnceLock<([u8; 512], [u8; 256])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x11d; // the AES-adjacent primitive polynomial
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        (exp, log)
+    })
+}
+
+/// GF(256) product.
+fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let (exp, log) = tables();
+    exp[log[a as usize] as usize + log[b as usize] as usize]
+}
+
+/// GF(256) inverse of a non-zero element.
+fn gf_inv(a: u8) -> u8 {
+    debug_assert_ne!(a, 0, "zero has no inverse");
+    let (exp, log) = tables();
+    exp[255 - log[a as usize] as usize]
+}
+
+/// The Cauchy coefficient of parity row `r` over data column `j`:
+/// `inv(x_r ⊕ y_j)` with `x_r = r` and `y_j = 255 - j`. The node sets are
+/// disjoint for any valid [`FecConfig`], so the inverse always exists and
+/// every square submatrix of the coefficient matrix is invertible — the
+/// property that makes "any ≤R losses" recoverable.
+fn coef(r: usize, j: usize) -> u8 {
+    gf_inv((r as u8) ^ (255 - j as u8))
+}
+
+/// `dst ^= c · src`, byte-parallel. Slices must be equal length.
+fn mul_acc(dst: &mut [u8], c: u8, src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let (exp, log) = tables();
+    let lc = log[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= exp[lc + log[*s as usize] as usize];
+        }
+    }
+}
+
+/// Encodes `parity_count` parity fragments over one group of data
+/// fragments. Fragments shorter than the longest are treated as
+/// zero-padded; every parity fragment has the group's maximum length.
+pub fn encode_group(data: &[&[u8]], parity_count: usize) -> Vec<Vec<u8>> {
+    let frag_len = data.iter().map(|d| d.len()).max().unwrap_or(0);
+    (0..parity_count)
+        .map(|r| {
+            let mut p = vec![0u8; frag_len];
+            for (j, frag) in data.iter().enumerate() {
+                mul_acc(&mut p[..frag.len()], coef(r, j), frag);
+            }
+            p
+        })
+        .collect()
+}
+
+/// Recovers the missing data fragments of one group in place.
+///
+/// `data` holds the group's data slots (`None` = lost); `parity` its
+/// parity slots in row order (`None` = lost). Present fragments may be
+/// shorter than `frag_len` (the tail fragment) — they are treated as
+/// zero-padded; recovered fragments come back at full `frag_len` (callers
+/// truncate using the block length). Returns the number of fragments
+/// recovered (0 when nothing was missing).
+///
+/// # Errors
+///
+/// [`NetError::Unrecoverable`] when more data fragments are missing than
+/// parity fragments survive.
+pub fn recover_group(
+    data: &mut [Option<Vec<u8>>],
+    parity: &[Option<Vec<u8>>],
+    frag_len: usize,
+) -> Result<usize, NetError> {
+    let missing: Vec<usize> = (0..data.len()).filter(|&j| data[j].is_none()).collect();
+    if missing.is_empty() {
+        return Ok(0);
+    }
+    let rows: Vec<usize> = (0..parity.len())
+        .filter(|&r| parity[r].is_some())
+        .take(missing.len())
+        .collect();
+    if rows.len() < missing.len() {
+        return Err(NetError::Unrecoverable {
+            missing: missing.len(),
+            parity: rows.len(),
+        });
+    }
+    let m = missing.len();
+    // Augmented system rows: the M×M Cauchy submatrix over the missing
+    // columns, each with its syndrome (parity ⊕ known-data contributions).
+    let mut matrix: Vec<Vec<u8>> = Vec::with_capacity(m);
+    let mut rhs: Vec<Vec<u8>> = Vec::with_capacity(m);
+    for &r in &rows {
+        matrix.push(missing.iter().map(|&j| coef(r, j)).collect());
+        let mut s = vec![0u8; frag_len];
+        if let Some(p) = &parity[r] {
+            s[..p.len()].copy_from_slice(p);
+        }
+        for (j, frag) in data.iter().enumerate() {
+            if let Some(frag) = frag {
+                mul_acc(&mut s[..frag.len()], coef(r, j), frag);
+            }
+        }
+        rhs.push(s);
+    }
+    // Gaussian elimination; the Cauchy property guarantees a pivot, but a
+    // typed error beats a panic if an impossible state ever arrives.
+    for col in 0..m {
+        let pivot = (col..m)
+            .find(|&row| matrix[row][col] != 0)
+            .ok_or(NetError::SingularSystem)?;
+        matrix.swap(col, pivot);
+        rhs.swap(col, pivot);
+        let inv = gf_inv(matrix[col][col]);
+        for x in &mut matrix[col] {
+            *x = gf_mul(*x, inv);
+        }
+        for x in &mut rhs[col] {
+            *x = gf_mul(*x, inv);
+        }
+        for row in 0..m {
+            if row != col && matrix[row][col] != 0 {
+                let factor = matrix[row][col];
+                let pivot_row = matrix[col].clone();
+                for (x, p) in matrix[row].iter_mut().zip(&pivot_row) {
+                    *x ^= gf_mul(factor, *p);
+                }
+                let pivot_rhs = rhs[col].clone();
+                mul_acc(&mut rhs[row], factor, &pivot_rhs);
+            }
+        }
+    }
+    for (slot, solved) in missing.iter().zip(rhs) {
+        data[*slot] = Some(solved);
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_bounds() {
+        assert!(FecConfig::new(0, 2).is_err());
+        assert!(FecConfig::new(250, 10).is_err());
+        assert!(FecConfig::new(8, 2).is_ok());
+        assert_eq!(FecConfig::off().group_parity, 0);
+    }
+
+    #[test]
+    fn field_arithmetic_sanity() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a={a}");
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(a, 0), 0);
+        }
+        // Commutativity + distributivity spot checks.
+        assert_eq!(gf_mul(7, 9), gf_mul(9, 7));
+        assert_eq!(
+            gf_mul(5, 13 ^ 200),
+            gf_mul(5, 13) ^ gf_mul(5, 200),
+            "multiplication distributes over XOR"
+        );
+    }
+
+    fn group(k: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|j| {
+                (0..len)
+                    .map(|i| (seed ^ (j as u8)).wrapping_mul(31).wrapping_add(i as u8))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_every_loss_pattern_up_to_r() {
+        let k = 5;
+        let r = 2;
+        let originals = group(k, 40, 0xA5);
+        let refs: Vec<&[u8]> = originals.iter().map(|v| v.as_slice()).collect();
+        let parity_full = encode_group(&refs, r);
+        // Every subset of ≤2 lost data fragments × every subset of lost
+        // parity (as long as enough parity survives).
+        for lost_a in 0..k {
+            for lost_b in lost_a..k {
+                let n_lost = if lost_a == lost_b { 1 } else { 2 };
+                for lost_parity in 0..=(r - n_lost) {
+                    let mut data: Vec<Option<Vec<u8>>> =
+                        originals.iter().cloned().map(Some).collect();
+                    data[lost_a] = None;
+                    data[lost_b] = None;
+                    let mut parity: Vec<Option<Vec<u8>>> =
+                        parity_full.iter().cloned().map(Some).collect();
+                    for p in parity.iter_mut().take(lost_parity) {
+                        *p = None;
+                    }
+                    let n = recover_group(&mut data, &parity, 40).expect("recoverable");
+                    assert_eq!(n, n_lost);
+                    for (got, want) in data.iter().zip(&originals) {
+                        assert_eq!(got.as_ref().expect("present"), want);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_losses_is_a_typed_error() {
+        let originals = group(4, 16, 3);
+        let refs: Vec<&[u8]> = originals.iter().map(|v| v.as_slice()).collect();
+        let parity: Vec<Option<Vec<u8>>> = encode_group(&refs, 1).into_iter().map(Some).collect();
+        let mut data: Vec<Option<Vec<u8>>> = originals.into_iter().map(Some).collect();
+        data[0] = None;
+        data[2] = None;
+        let err = recover_group(&mut data, &parity, 16).expect_err("2 lost, 1 parity");
+        assert!(matches!(
+            err,
+            NetError::Unrecoverable {
+                missing: 2,
+                parity: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn short_tail_fragment_zero_pads() {
+        let full = vec![1u8, 2, 3, 4];
+        let tail = vec![9u8, 8];
+        let parity = encode_group(&[&full, &tail], 1);
+        assert_eq!(parity[0].len(), 4);
+        let mut data = vec![Some(full.clone()), None];
+        let parity: Vec<Option<Vec<u8>>> = parity.into_iter().map(Some).collect();
+        recover_group(&mut data, &parity, 4).expect("one loss, one parity");
+        let recovered = data[1].take().expect("recovered");
+        assert_eq!(&recovered[..2], &tail[..], "true bytes back");
+        assert_eq!(&recovered[2..], &[0, 0], "padding is zeros");
+    }
+
+    #[test]
+    fn r1_decode_is_the_xor_chain_shape() {
+        // With one parity row the syndrome solve reduces to scaled XOR of
+        // the survivors — sanity-check against a hand XOR in the field.
+        let originals = group(3, 8, 7);
+        let refs: Vec<&[u8]> = originals.iter().map(|v| v.as_slice()).collect();
+        let parity = encode_group(&refs, 1);
+        let mut data: Vec<Option<Vec<u8>>> = originals.iter().cloned().map(Some).collect();
+        data[1] = None;
+        let parity: Vec<Option<Vec<u8>>> = parity.into_iter().map(Some).collect();
+        recover_group(&mut data, &parity, 8).expect("recoverable");
+        assert_eq!(data[1].as_ref().expect("present"), &originals[1]);
+    }
+}

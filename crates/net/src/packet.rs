@@ -1,0 +1,729 @@
+//! Block/fragment packetization and out-of-order reassembly.
+//!
+//! A *block* is one application payload (an encoded frame). The
+//! [`Packetizer`] splits it into fixed-MTU fragments, appends FEC parity
+//! per [`FecConfig`] group, and stamps every fragment with a 28-byte
+//! header. The [`Depacketizer`] reassembles blocks from whatever subset
+//! arrives — in any order, with duplicates — and reports one
+//! [`BlockOutcome`] per block:
+//!
+//! * [`BlockOutcome::Delivered`] — every data fragment arrived;
+//! * [`BlockOutcome::Recovered`] — data was missing but every FEC group
+//!   had enough surviving parity to rebuild it, bit-exact;
+//! * [`BlockOutcome::Lost`] — some group lost more fragments than its
+//!   parity budget; the block is reported lost, never as corrupt bytes.
+//!
+//! Blocks resolve either eagerly (the moment enough fragments are in) or
+//! when they age past the reassembly *horizon*: once packets for block
+//! `id + horizon` show up on a stream, block `id` is forced to a verdict.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::fec::{self, FecConfig};
+use crate::feedback::WanTaps;
+use crate::NetError;
+
+/// Fragment header magic: `0x5E` ("SiEVE") + layout version 1.
+pub const MAGIC: [u8; 2] = [0x5E, 0x01];
+
+/// Serialized size of a [`PacketHeader`] on the wire.
+pub const HEADER_BYTES: usize = 28;
+
+/// Per-fragment wire header.
+///
+/// `frag_index < data_frags` marks a data fragment; indices at and above
+/// `data_frags` are FEC parity, `group_parity` per group in group order.
+/// `seq` increases by one per packet *sent* on the stream (data and
+/// parity alike) and is what the receiver uses to count reordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketHeader {
+    /// Fleet stream (camera) the block belongs to.
+    pub stream: u16,
+    /// Monotone per-stream block counter.
+    pub block_id: u64,
+    /// Monotone per-stream send counter, across blocks.
+    pub seq: u64,
+    /// Fragment position: data first, then parity.
+    pub frag_index: u16,
+    /// Number of *data* fragments in the block.
+    pub data_frags: u16,
+    /// Exact byte length of the original block payload.
+    pub block_len: u32,
+}
+
+impl PacketHeader {
+    /// Serializes to the fixed [`HEADER_BYTES`] layout (big-endian).
+    pub fn to_bytes(&self) -> [u8; HEADER_BYTES] {
+        let mut out = [0u8; HEADER_BYTES];
+        out[0..2].copy_from_slice(&MAGIC);
+        out[2..4].copy_from_slice(&self.stream.to_be_bytes());
+        out[4..12].copy_from_slice(&self.block_id.to_be_bytes());
+        out[12..20].copy_from_slice(&self.seq.to_be_bytes());
+        out[20..22].copy_from_slice(&self.frag_index.to_be_bytes());
+        out[22..24].copy_from_slice(&self.data_frags.to_be_bytes());
+        out[24..28].copy_from_slice(&self.block_len.to_be_bytes());
+        out
+    }
+
+    /// Parses a header back out of a wire buffer.
+    pub fn parse(buf: &[u8]) -> Result<Self, NetError> {
+        if buf.len() < HEADER_BYTES {
+            return Err(NetError::malformed(format!(
+                "{} bytes is shorter than the {HEADER_BYTES}-byte header",
+                buf.len()
+            )));
+        }
+        if buf[0..2] != MAGIC {
+            return Err(NetError::malformed(format!(
+                "bad magic {:02x}{:02x}",
+                buf[0], buf[1]
+            )));
+        }
+        fn word<const N: usize>(buf: &[u8], at: usize) -> [u8; N] {
+            let mut out = [0u8; N];
+            out.copy_from_slice(&buf[at..at + N]);
+            out
+        }
+        Ok(Self {
+            stream: u16::from_be_bytes(word(buf, 2)),
+            block_id: u64::from_be_bytes(word(buf, 4)),
+            seq: u64::from_be_bytes(word(buf, 12)),
+            frag_index: u16::from_be_bytes(word(buf, 20)),
+            data_frags: u16::from_be_bytes(word(buf, 22)),
+            block_len: u32::from_be_bytes(word(buf, 24)),
+        })
+    }
+}
+
+/// One fragment in flight: header plus fragment payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    pub header: PacketHeader,
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Bytes this packet occupies on the wire — what the channel's
+    /// bandwidth cap charges for.
+    pub fn wire_len(&self) -> usize {
+        HEADER_BYTES + self.payload.len()
+    }
+}
+
+/// Splits blocks into MTU-sized fragments and appends FEC parity.
+#[derive(Debug)]
+pub struct Packetizer {
+    mtu: usize,
+    fec: FecConfig,
+    stream: u16,
+    next_block: u64,
+    next_seq: u64,
+}
+
+impl Packetizer {
+    /// `mtu` is the full on-wire packet budget, header included.
+    pub fn new(mtu: usize, fec: FecConfig, stream: u16) -> Result<Self, NetError> {
+        if mtu <= HEADER_BYTES {
+            return Err(NetError::config(format!(
+                "mtu {mtu} leaves no room after the {HEADER_BYTES}-byte header"
+            )));
+        }
+        Ok(Self {
+            mtu,
+            fec,
+            stream,
+            next_block: 0,
+            next_seq: 0,
+        })
+    }
+
+    /// Payload bytes that fit in one fragment.
+    pub fn frag_payload(&self) -> usize {
+        self.mtu - HEADER_BYTES
+    }
+
+    /// The id the next call to [`packetize`](Self::packetize) will use.
+    pub fn next_block(&self) -> u64 {
+        self.next_block
+    }
+
+    /// Packetizes one block; returns its id and the fragments in send
+    /// order (data first, then per-group parity).
+    pub fn packetize(&mut self, block: &[u8]) -> (u64, Vec<Packet>) {
+        let block_id = self.next_block;
+        self.next_block += 1;
+        let fp = self.frag_payload();
+        let data_frags = block.len().div_ceil(fp).max(1);
+        debug_assert!(
+            data_frags <= u16::MAX as usize,
+            "block too large for u16 fragment index"
+        );
+
+        let mut packets = Vec::with_capacity(data_frags);
+        for (i, chunk) in block.chunks(fp).enumerate() {
+            packets.push(self.stamp(
+                block_id,
+                i as u16,
+                data_frags as u16,
+                block.len() as u32,
+                chunk.to_vec(),
+            ));
+        }
+        if block.is_empty() {
+            // An empty block still ships one empty data fragment so the
+            // receiver sees the block exist and can report on it.
+            packets.push(self.stamp(block_id, 0, 1, 0, Vec::new()));
+        }
+
+        if self.fec.group_parity > 0 {
+            let k = self.fec.group_data;
+            let r = self.fec.group_parity;
+            let mut parity_index = data_frags as u16;
+            let mut parity_packets = Vec::new();
+            for group in packets.chunks(k) {
+                let refs: Vec<&[u8]> = group.iter().map(|p| p.payload.as_slice()).collect();
+                for parity in fec::encode_group(&refs, r) {
+                    parity_packets.push(self.stamp(
+                        block_id,
+                        parity_index,
+                        data_frags as u16,
+                        block.len() as u32,
+                        parity,
+                    ));
+                    parity_index += 1;
+                }
+            }
+            packets.extend(parity_packets);
+        }
+        (block_id, packets)
+    }
+
+    fn stamp(
+        &mut self,
+        block_id: u64,
+        frag_index: u16,
+        data_frags: u16,
+        block_len: u32,
+        payload: Vec<u8>,
+    ) -> Packet {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Packet {
+            header: PacketHeader {
+                stream: self.stream,
+                block_id,
+                seq,
+                frag_index,
+                data_frags,
+                block_len,
+            },
+            payload,
+        }
+    }
+}
+
+/// Terminal verdict for one block at the receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockOutcome {
+    /// All data fragments arrived; payload is the original bytes.
+    Delivered(Vec<u8>),
+    /// Data was missing but FEC rebuilt it; payload is bit-exact.
+    Recovered(Vec<u8>),
+    /// More losses than parity in at least one group.
+    Lost,
+}
+
+impl BlockOutcome {
+    /// The reassembled payload, when there is one.
+    pub fn payload(&self) -> Option<&[u8]> {
+        match self {
+            Self::Delivered(p) | Self::Recovered(p) => Some(p),
+            Self::Lost => None,
+        }
+    }
+}
+
+/// One resolved block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockReport {
+    pub stream: u16,
+    pub block_id: u64,
+    pub outcome: BlockOutcome,
+}
+
+#[derive(Debug)]
+struct PendingBlock {
+    data: Vec<Option<Vec<u8>>>,
+    parity: Vec<Option<Vec<u8>>>,
+    block_len: u32,
+}
+
+impl PendingBlock {
+    fn new(data_frags: usize, parity_frags: usize, block_len: u32) -> Self {
+        Self {
+            data: vec![None; data_frags],
+            parity: vec![None; parity_frags],
+            block_len,
+        }
+    }
+}
+
+/// Reassembles blocks from fragments arriving in any order.
+#[derive(Debug)]
+pub struct Depacketizer {
+    frag_payload: usize,
+    fec: FecConfig,
+    horizon: u64,
+    pending: BTreeMap<(u16, u64), PendingBlock>,
+    /// Block ids already resolved, kept within the horizon window so
+    /// stragglers and duplicates for a settled block are dropped silently.
+    resolved: BTreeMap<u16, BTreeSet<u64>>,
+    /// Low-water mark per stream: every id below it is treated as settled
+    /// forever, so pruning [`Self::resolved`] can never let a very late
+    /// straggler (e.g. one queued behind a full congestion backlog)
+    /// resurrect — and double-resolve — an already-settled block.
+    settled_floor: BTreeMap<u16, u64>,
+    newest: BTreeMap<u16, u64>,
+    highest_seq: BTreeMap<u16, u64>,
+    reordered: u64,
+    taps: Option<WanTaps>,
+}
+
+/// Blocks a stream may keep pending before the oldest is forced to a
+/// verdict. Generous relative to the channel's reorder bound so a late
+/// fragment still finds its block waiting.
+pub const DEFAULT_HORIZON: u64 = 8;
+
+impl Depacketizer {
+    /// `mtu` and `fec` must match the sender's — the fragment payload
+    /// size is shared configuration, not derivable from the wire.
+    pub fn new(mtu: usize, fec: FecConfig) -> Result<Self, NetError> {
+        if mtu <= HEADER_BYTES {
+            return Err(NetError::config(format!(
+                "mtu {mtu} leaves no room after the {HEADER_BYTES}-byte header"
+            )));
+        }
+        Ok(Self {
+            frag_payload: mtu - HEADER_BYTES,
+            fec,
+            horizon: DEFAULT_HORIZON,
+            pending: BTreeMap::new(),
+            resolved: BTreeMap::new(),
+            settled_floor: BTreeMap::new(),
+            newest: BTreeMap::new(),
+            highest_seq: BTreeMap::new(),
+            reordered: 0,
+            taps: None,
+        })
+    }
+
+    /// Wires the `wan.*` registry instruments into the reassembly path.
+    pub fn with_taps(mtu: usize, fec: FecConfig, taps: WanTaps) -> Result<Self, NetError> {
+        let mut d = Self::new(mtu, fec)?;
+        d.taps = Some(taps);
+        Ok(d)
+    }
+
+    /// Overrides the reassembly horizon (in blocks, per stream).
+    pub fn set_horizon(&mut self, horizon: u64) {
+        self.horizon = horizon.max(1);
+    }
+
+    /// Packets seen out of send order so far.
+    pub fn reordered(&self) -> u64 {
+        self.reordered
+    }
+
+    /// Blocks still waiting for fragments.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True while at least one fragment of the block has arrived and the
+    /// block has not yet resolved.
+    pub fn is_pending(&self, stream: u16, block_id: u64) -> bool {
+        self.pending.contains_key(&(stream, block_id))
+    }
+
+    /// Feeds one arrived packet; returns every block this arrival
+    /// resolves — the block it completes, plus any block it ages out.
+    pub fn push(&mut self, packet: Packet) -> Vec<BlockReport> {
+        let h = packet.header;
+        if let Some(t) = &self.taps {
+            t.packets_delivered.inc();
+        }
+        match self.highest_seq.get(&h.stream) {
+            Some(&hi) if h.seq < hi => {
+                self.reordered += 1;
+                if let Some(t) = &self.taps {
+                    t.packets_reordered.inc();
+                }
+            }
+            Some(&hi) => {
+                self.highest_seq.insert(h.stream, hi.max(h.seq));
+            }
+            None => {
+                self.highest_seq.insert(h.stream, h.seq);
+            }
+        }
+
+        let mut reports = Vec::new();
+        let settled = h.block_id < self.settled_floor.get(&h.stream).copied().unwrap_or(0)
+            || self
+                .resolved
+                .get(&h.stream)
+                .is_some_and(|set| set.contains(&h.block_id));
+        if settled {
+            return reports; // straggler for a block already settled
+        }
+
+        let data_frags = h.data_frags as usize;
+        let groups = data_frags.div_ceil(self.fec.group_data.max(1));
+        let parity_frags = groups * self.fec.group_parity;
+        let entry = self
+            .pending
+            .entry((h.stream, h.block_id))
+            .or_insert_with(|| PendingBlock::new(data_frags, parity_frags, h.block_len));
+
+        let idx = h.frag_index as usize;
+        if idx < data_frags {
+            if entry.data[idx].is_none() {
+                entry.data[idx] = Some(packet.payload);
+            }
+        } else if idx - data_frags < parity_frags {
+            let p = idx - data_frags;
+            if entry.parity[p].is_none() {
+                entry.parity[p] = Some(packet.payload);
+            }
+        }
+        // A frag_index beyond the parity range is a malformed straggler;
+        // it was counted as delivered and is otherwise ignored.
+
+        if let Some(report) = self.try_resolve(h.stream, h.block_id) {
+            reports.push(report);
+        }
+
+        let newest = self
+            .newest
+            .entry(h.stream)
+            .and_modify(|n| *n = (*n).max(h.block_id))
+            .or_insert(h.block_id);
+        let newest = *newest;
+        let expired: Vec<u64> = self
+            .pending
+            .range((h.stream, 0)..=(h.stream, u64::MAX))
+            .map(|((_, id), _)| *id)
+            .filter(|id| id + self.horizon < newest)
+            .collect();
+        for id in expired {
+            reports.push(self.force_resolve(h.stream, id));
+        }
+        reports
+    }
+
+    /// Forces a verdict on one block now — used by synchronous adapters
+    /// that resolve each block before the next is sent.
+    pub fn finalize(&mut self, stream: u16, block_id: u64) -> Option<BlockReport> {
+        if self.pending.contains_key(&(stream, block_id)) {
+            Some(self.force_resolve(stream, block_id))
+        } else {
+            None
+        }
+    }
+
+    /// Forces a verdict on everything still pending.
+    pub fn finish(&mut self) -> Vec<BlockReport> {
+        let keys: Vec<(u16, u64)> = self.pending.keys().copied().collect();
+        keys.into_iter()
+            .map(|(s, id)| self.force_resolve(s, id))
+            .collect()
+    }
+
+    /// Resolves the block if every data fragment is in; leaves it pending
+    /// otherwise. Recovery is deliberately *lazy* — jitter routinely lands
+    /// parity ahead of the last data fragment, and recovering while the
+    /// data is still in flight would misreport a healthy channel as lossy.
+    /// Parity is only spent at [`finalize`](Self::finalize) / horizon
+    /// expiry, when waiting is no longer an option.
+    fn try_resolve(&mut self, stream: u16, block_id: u64) -> Option<BlockReport> {
+        let complete = self
+            .pending
+            .get(&(stream, block_id))
+            .is_some_and(|entry| entry.data.iter().all(Option::is_some));
+        if !complete {
+            return None;
+        }
+        let entry = self.pending.remove(&(stream, block_id))?;
+        let outcome = BlockOutcome::Delivered(assemble(&entry));
+        Some(self.settle(stream, block_id, outcome))
+    }
+
+    /// Resolves the block with whatever is present: recovery if possible,
+    /// otherwise [`BlockOutcome::Lost`].
+    fn force_resolve(&mut self, stream: u16, block_id: u64) -> BlockReport {
+        // lint:allow(no-unwrap): every caller checked membership in `pending` under this borrow
+        let mut entry = self
+            .pending
+            .remove(&(stream, block_id))
+            .expect("checked by caller");
+        let outcome = if entry.data.iter().all(Option::is_some) {
+            BlockOutcome::Delivered(assemble(&entry))
+        } else if self.fec.group_parity > 0 && self.recoverable(&entry) {
+            self.recover(&mut entry)
+        } else {
+            BlockOutcome::Lost
+        };
+        self.settle(stream, block_id, outcome)
+    }
+
+    /// True when every group's losses fit inside its surviving parity.
+    fn recoverable(&self, entry: &PendingBlock) -> bool {
+        let k = self.fec.group_data;
+        let r = self.fec.group_parity;
+        entry.data.chunks(k).enumerate().all(|(g, group)| {
+            let missing = group.iter().filter(|d| d.is_none()).count();
+            let parity_have = entry.parity[g * r..(g + 1) * r]
+                .iter()
+                .filter(|p| p.is_some())
+                .count();
+            missing <= parity_have
+        })
+    }
+
+    /// Runs per-group recovery; downgrades to [`BlockOutcome::Lost`] if
+    /// the solver reports the group unrecoverable after all.
+    fn recover(&self, entry: &mut PendingBlock) -> BlockOutcome {
+        let k = self.fec.group_data;
+        let r = self.fec.group_parity;
+        let groups = entry.data.len().div_ceil(k);
+        let mut recovered_frags = 0usize;
+        for g in 0..groups {
+            let lo = g * k;
+            let hi = (lo + k).min(entry.data.len());
+            // Every data fragment but a short tail is full-size; the
+            // group-local fragment length is the max present length, with
+            // the shared frag_payload as the upper bound.
+            let frag_len = entry.data[lo..hi]
+                .iter()
+                .flatten()
+                .chain(entry.parity[g * r..(g + 1) * r].iter().flatten())
+                .map(Vec::len)
+                .max()
+                .unwrap_or(self.frag_payload);
+            let group = &mut entry.data[lo..hi];
+            let parity = &entry.parity[g * r..(g + 1) * r];
+            match fec::recover_group(group, parity, frag_len) {
+                Ok(n) => recovered_frags += n,
+                Err(_) => return BlockOutcome::Lost,
+            }
+        }
+        let bytes = assemble(entry);
+        if recovered_frags == 0 {
+            BlockOutcome::Delivered(bytes)
+        } else {
+            if let Some(t) = &self.taps {
+                t.frags_recovered.add(recovered_frags as u64);
+            }
+            BlockOutcome::Recovered(bytes)
+        }
+    }
+
+    fn settle(&mut self, stream: u16, block_id: u64, outcome: BlockOutcome) -> BlockReport {
+        if let Some(t) = &self.taps {
+            match &outcome {
+                BlockOutcome::Delivered(p) => {
+                    t.blocks_delivered.inc();
+                    t.delivered_bytes.add(p.len() as u64);
+                }
+                BlockOutcome::Recovered(p) => {
+                    t.blocks_recovered.inc();
+                    t.delivered_bytes.add(p.len() as u64);
+                }
+                BlockOutcome::Lost => t.blocks_lost.inc(),
+            }
+        }
+        let set = self.resolved.entry(stream).or_default();
+        set.insert(block_id);
+        // Prune the resolved set to the horizon window so it stays
+        // O(horizon); the floor remembers what was pruned, so stragglers
+        // below it still read as settled.
+        let newest = self.newest.get(&stream).copied().unwrap_or(block_id);
+        let keep_from = newest.saturating_sub(self.horizon * 2);
+        set.retain(|id| *id >= keep_from);
+        let floor = self.settled_floor.entry(stream).or_insert(0);
+        *floor = (*floor).max(keep_from);
+        BlockReport {
+            stream,
+            block_id,
+            outcome,
+        }
+    }
+}
+
+/// Concatenates data fragments and truncates to the declared block
+/// length — recovered tail fragments carry FEC zero-padding past the end.
+fn assemble(entry: &PendingBlock) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entry.block_len as usize);
+    for frag in entry.data.iter().flatten() {
+        out.extend_from_slice(frag);
+    }
+    out.truncate(entry.block_len as usize);
+    out
+}
+
+/// Convenience used by tests and the uplink: run `packets` through a
+/// lossless path and return the reports in resolution order.
+pub fn roundtrip(
+    depacketizer: &mut Depacketizer,
+    packets: impl IntoIterator<Item = Packet>,
+) -> VecDeque<BlockReport> {
+    let mut out = VecDeque::new();
+    for p in packets {
+        out.extend(depacketizer.push(p));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(mtu: usize, fec: FecConfig) -> (Packetizer, Depacketizer) {
+        (
+            Packetizer::new(mtu, fec, 3).expect("packetizer"),
+            Depacketizer::new(mtu, fec).expect("depacketizer"),
+        )
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 37 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn header_roundtrips_and_rejects_garbage() {
+        let h = PacketHeader {
+            stream: 7,
+            block_id: 0x0123_4567_89ab_cdef,
+            seq: 42,
+            frag_index: 9,
+            data_frags: 12,
+            block_len: 4096,
+        };
+        let bytes = h.to_bytes();
+        assert_eq!(PacketHeader::parse(&bytes).expect("parse"), h);
+        assert!(matches!(
+            PacketHeader::parse(&bytes[..10]),
+            Err(NetError::MalformedPacket(_))
+        ));
+        let mut bad = bytes;
+        bad[0] = 0xff;
+        assert!(matches!(
+            PacketHeader::parse(&bad),
+            Err(NetError::MalformedPacket(_))
+        ));
+    }
+
+    #[test]
+    fn lossless_in_order_delivers() {
+        let (mut tx, mut rx) = mk(256, FecConfig::default_on());
+        let block = payload(2000);
+        let (id, pkts) = tx.packetize(&block);
+        let reports = roundtrip(&mut rx, pkts);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].block_id, id);
+        assert_eq!(reports[0].outcome, BlockOutcome::Delivered(block));
+    }
+
+    #[test]
+    fn loss_within_parity_budget_recovers_bit_exact() {
+        let fec = FecConfig::new(4, 2).expect("fec");
+        let (mut tx, mut rx) = mk(128, fec);
+        let block = payload(900);
+        let (_, mut pkts) = tx.packetize(&block);
+        // Drop two data fragments out of the first group.
+        pkts.remove(1);
+        pkts.remove(0);
+        let mut reports = roundtrip(&mut rx, pkts);
+        assert!(
+            reports.is_empty(),
+            "recovery is lazy: nothing resolves early"
+        );
+        reports.extend(rx.finish());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].outcome, BlockOutcome::Recovered(block));
+    }
+
+    #[test]
+    fn loss_beyond_parity_budget_is_lost_not_corrupt() {
+        let fec = FecConfig::new(4, 1).expect("fec");
+        let (mut tx, mut rx) = mk(128, fec);
+        let block = payload(900);
+        let (_, pkts) = tx.packetize(&block);
+        // Drop two data fragments from the same group: beyond R=1.
+        let kept: Vec<Packet> = pkts
+            .into_iter()
+            .filter(|p| p.header.frag_index != 0 && p.header.frag_index != 1)
+            .collect();
+        let mut rx_reports = roundtrip(&mut rx, kept);
+        rx_reports.extend(rx.finish());
+        assert_eq!(rx_reports.len(), 1);
+        assert_eq!(rx_reports[0].outcome, BlockOutcome::Lost);
+    }
+
+    #[test]
+    fn out_of_order_arrival_reassembles_and_counts_reorder() {
+        let (mut tx, mut rx) = mk(200, FecConfig::off());
+        let block = payload(700);
+        let (_, mut pkts) = tx.packetize(&block);
+        pkts.reverse();
+        let reports = roundtrip(&mut rx, pkts);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].outcome, BlockOutcome::Delivered(block));
+        assert!(
+            rx.reordered() > 0,
+            "reversed arrival must count as reordered"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_idempotent() {
+        let (mut tx, mut rx) = mk(200, FecConfig::default_on());
+        let block = payload(700);
+        let (_, pkts) = tx.packetize(&block);
+        let doubled: Vec<Packet> = pkts.clone().into_iter().chain(pkts).collect();
+        let reports = roundtrip(&mut rx, doubled);
+        assert_eq!(reports.len(), 1, "a settled block ignores stragglers");
+        assert_eq!(reports[0].outcome, BlockOutcome::Delivered(block));
+    }
+
+    #[test]
+    fn horizon_forces_old_blocks_to_a_verdict() {
+        let (mut tx, mut rx) = mk(200, FecConfig::off());
+        rx.set_horizon(2);
+        let first = payload(500);
+        let (first_id, mut first_pkts) = tx.packetize(&first);
+        first_pkts.pop(); // hold back the tail fragment forever
+        let mut reports = roundtrip(&mut rx, first_pkts);
+        assert!(reports.is_empty());
+        for _ in 0..4 {
+            let (_, pkts) = tx.packetize(&payload(500));
+            reports.extend(roundtrip(&mut rx, pkts));
+        }
+        let forced = reports
+            .iter()
+            .find(|r| r.block_id == first_id)
+            .expect("old block must be forced out by the horizon");
+        assert_eq!(forced.outcome, BlockOutcome::Lost);
+    }
+
+    #[test]
+    fn empty_block_still_reports() {
+        let (mut tx, mut rx) = mk(200, FecConfig::default_on());
+        let (id, pkts) = tx.packetize(&[]);
+        assert!(!pkts.is_empty());
+        let reports = roundtrip(&mut rx, pkts);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].block_id, id);
+        assert_eq!(reports[0].outcome, BlockOutcome::Delivered(Vec::new()));
+    }
+}

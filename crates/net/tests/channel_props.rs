@@ -1,0 +1,152 @@
+//! Property tests for the deterministic WAN channel.
+//!
+//! 1. **Bit-reproducibility.** A [`WanChannel`] is a pure function of its
+//!    seed and the send schedule: two runs with identical configs must
+//!    produce the identical delivery trace (same packets, same order) and
+//!    identical counts — across i.i.d. loss, Gilbert–Elliott bursts,
+//!    jitter, reordering and congestion alike.
+//! 2. **Conservation.** Every offered packet ends in exactly one bin:
+//!    delivered, randomly lost, or congestion-dropped.
+//! 3. **Loss calibration.** Observed i.i.d. loss lands near the nominal
+//!    rate over a long run.
+
+use proptest::prelude::*;
+use sieve_net::packet::{Packet, PacketHeader};
+use sieve_net::{LossModel, WanChannel, WanConfig};
+use sieve_simnet::SimTime;
+
+fn pkt(seq: u64, len: usize) -> Packet {
+    Packet {
+        header: PacketHeader {
+            stream: 0,
+            block_id: seq,
+            seq,
+            frag_index: 0,
+            data_frags: 1,
+            block_len: len as u32,
+        },
+        payload: vec![0u8; len],
+    }
+}
+
+/// Runs `n` sends through a fresh channel built from `cfg` and returns
+/// the delivered sequence trace plus the final counts.
+fn trace(cfg: WanConfig, n: u64) -> (Vec<u64>, sieve_net::channel::ChannelCounts) {
+    let mut ch = WanChannel::new(cfg).expect("config validated by the strategy");
+    for i in 0..n {
+        // Vary packet sizes so serialization times differ per packet.
+        let len = 200 + ((i * 97) % 1000) as usize;
+        ch.send(SimTime::from_secs_f64(i as f64 * 0.002), pkt(i, len));
+    }
+    let seqs = ch.drain().into_iter().map(|p| p.header.seq).collect();
+    (seqs, ch.counts())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same seed, same config → identical delivery trace and counts,
+    /// whatever the loss/reorder/jitter mixture.
+    #[test]
+    fn iid_channel_is_bit_reproducible(
+        seed in 0u64..(1 << 48),
+        loss in 0.0f64..0.4,
+        reorder in 0.0f64..0.3,
+        jitter in 0.0f64..0.02,
+        bandwidth in 1e6f64..1e8,
+    ) {
+        let cfg = WanConfig {
+            seed,
+            loss: LossModel::Iid { loss },
+            reorder,
+            reorder_delay_secs: 0.05,
+            jitter_secs: jitter,
+            latency_secs: 0.02,
+            bandwidth_bps: bandwidth,
+            queue_bytes: 64 * 1024,
+        };
+        let a = trace(cfg.clone(), 400);
+        let b = trace(cfg, 400);
+        prop_assert_eq!(a.0, b.0, "delivery traces diverged for seed {}", seed);
+        prop_assert_eq!(a.1, b.1, "counts diverged for seed {}", seed);
+    }
+
+    /// The Gilbert–Elliott burst process is seeded too: same seed, same
+    /// burst pattern, same trace.
+    #[test]
+    fn gilbert_elliott_channel_is_bit_reproducible(
+        seed in 0u64..(1 << 48),
+        to_bad in 0.0f64..0.2,
+        to_good in 0.05f64..0.5,
+        loss_bad in 0.1f64..0.9,
+    ) {
+        let cfg = WanConfig {
+            seed,
+            loss: LossModel::GilbertElliott {
+                to_bad,
+                to_good,
+                loss_good: 0.001,
+                loss_bad,
+            },
+            reorder: 0.05,
+            reorder_delay_secs: 0.04,
+            jitter_secs: 0.01,
+            latency_secs: 0.02,
+            bandwidth_bps: 3e7,
+            queue_bytes: 128 * 1024,
+        };
+        let a = trace(cfg.clone(), 400);
+        let b = trace(cfg, 400);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+    }
+
+    /// sent == delivered + lost + congestion_dropped, always.
+    #[test]
+    fn every_packet_lands_in_exactly_one_bin(
+        seed in 0u64..(1 << 48),
+        loss in 0.0f64..0.5,
+        bandwidth in 5e5f64..5e7,
+        queue_kib in 2usize..64,
+    ) {
+        let cfg = WanConfig {
+            seed,
+            loss: LossModel::Iid { loss },
+            reorder: 0.1,
+            reorder_delay_secs: 0.05,
+            jitter_secs: 0.01,
+            latency_secs: 0.02,
+            bandwidth_bps: bandwidth,
+            queue_bytes: queue_kib * 1024,
+        };
+        let (seqs, c) = trace(cfg, 600);
+        prop_assert_eq!(c.sent, 600);
+        prop_assert_eq!(
+            c.sent,
+            c.delivered + c.lost + c.congestion_dropped,
+            "conservation violated: {:?}",
+            c
+        );
+        prop_assert_eq!(seqs.len() as u64, c.delivered);
+        // No duplication either: every delivered seq is unique.
+        let mut sorted = seqs;
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len() as u64, c.delivered);
+    }
+
+    /// Observed i.i.d. loss tracks the nominal rate (wide capacity, so
+    /// random loss is the only sink).
+    #[test]
+    fn observed_loss_tracks_nominal(seed in 0u64..(1 << 48), loss in 0.05f64..0.3) {
+        let mut cfg = WanConfig::clean(seed);
+        cfg.loss = LossModel::Iid { loss };
+        let (_, c) = trace(cfg, 4000);
+        prop_assert_eq!(c.congestion_dropped, 0, "clean preset must not congest");
+        let observed = c.lost as f64 / c.sent as f64;
+        prop_assert!(
+            (observed - loss).abs() < 0.035,
+            "observed loss {observed:.3} too far from nominal {loss:.3}"
+        );
+    }
+}

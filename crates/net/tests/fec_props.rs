@@ -1,0 +1,178 @@
+//! Property tests for FEC reassembly at the packet layer.
+//!
+//! The erasure-coding contract, exercised end to end through
+//! [`Packetizer`]/[`Depacketizer`] rather than on raw groups:
+//!
+//! 1. **Any ≤R losses per group recover the original bytes.** Random
+//!    block sizes and group shapes, random loss patterns capped at the
+//!    parity budget in every group — the reassembled payload must be
+//!    bit-identical to what was packetized.
+//! 2. **Beyond the budget the block is `Lost`, never corrupt.** When a
+//!    group loses more data fragments than it has surviving parity, the
+//!    receiver must say so — it must never hand back wrong bytes.
+//!
+//! An exhaustive sweep over every loss pattern of a small block backs the
+//! sampled cases.
+
+use proptest::prelude::*;
+use sieve_net::{BlockOutcome, Depacketizer, FecConfig, Packet, Packetizer};
+
+const MTU: usize = 140; // small on purpose: many fragments per block
+
+fn pair(k: usize, r: usize) -> (Packetizer, Depacketizer) {
+    let fec = FecConfig::new(k, r).expect("valid shape");
+    (
+        Packetizer::new(MTU, fec, 0).expect("packetizer"),
+        Depacketizer::new(MTU, fec).expect("depacketizer"),
+    )
+}
+
+fn payload(len: usize, salt: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(salt) >> 3) as u8)
+        .collect()
+}
+
+/// Splits a packetized block into per-group position lists
+/// `(group, wire-index)` so loss patterns can be chosen per group.
+fn group_of(packet: &Packet, k: usize, r: usize) -> usize {
+    let h = packet.header;
+    let data_frags = h.data_frags as usize;
+    let idx = h.frag_index as usize;
+    if idx < data_frags {
+        idx / k
+    } else {
+        (idx - data_frags) / r.max(1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drop a random ≤R subset in every group; the block must come back
+    /// bit-exact (Delivered when nothing was dropped, Recovered otherwise).
+    #[test]
+    fn any_loss_within_budget_recovers_the_original_bytes(
+        k in 2usize..6,
+        r in 1usize..3,
+        len in 1usize..4000,
+        salt in 0u64..1_000_000,
+        pattern in 0u64..(1u64 << 32),
+    ) {
+        let (mut tx, mut rx) = pair(k, r);
+        let block = payload(len, salt);
+        let (id, pkts) = tx.packetize(&block);
+
+        // Pick up to `r` victims per group, driven by the pattern bits.
+        let groups = pkts.iter().map(|p| group_of(p, k, r)).max().unwrap_or(0) + 1;
+        let mut dropped_per_group = vec![0usize; groups];
+        let mut bits = pattern;
+        let mut dropped_any = false;
+        let kept: Vec<Packet> = pkts
+            .into_iter()
+            .filter(|p| {
+                let g = group_of(p, k, r);
+                let drop = (bits & 1) == 1 && dropped_per_group[g] < r;
+                bits >>= 1;
+                if drop {
+                    dropped_per_group[g] += 1;
+                    dropped_any = true;
+                }
+                !drop
+            })
+            .collect();
+
+        let mut reports = Vec::new();
+        for p in kept {
+            reports.extend(rx.push(p));
+        }
+        reports.extend(rx.finish());
+        prop_assert_eq!(reports.len(), 1);
+        prop_assert_eq!(reports[0].block_id, id);
+        match &reports[0].outcome {
+            BlockOutcome::Delivered(bytes) => {
+                prop_assert!(!dropped_any, "losses must not report as Delivered");
+                prop_assert_eq!(bytes, &block);
+            }
+            BlockOutcome::Recovered(bytes) => {
+                prop_assert!(dropped_any, "lossless must not report as Recovered");
+                prop_assert_eq!(bytes, &block);
+            }
+            BlockOutcome::Lost => prop_assert!(
+                false,
+                "≤{r} losses per group must recover (pattern {pattern:#x})"
+            ),
+        }
+    }
+
+    /// Drop R+1 data fragments from the first group while keeping all its
+    /// parity: recovery is impossible and the verdict must be Lost.
+    #[test]
+    fn beyond_budget_is_lost_never_corrupt(
+        r in 0usize..3,
+        extra in 0usize..3,
+        len_factor in 2usize..5,
+        salt in 0u64..1_000_000,
+    ) {
+        let k = r + 2 + extra; // first group holds at least r+2 data frags
+        let (mut tx, mut rx) = pair(k, r);
+        let block = payload((MTU - sieve_net::packet::HEADER_BYTES) * k * len_factor / 2, salt);
+        let (id, pkts) = tx.packetize(&block);
+        let kept: Vec<Packet> = pkts
+            .into_iter()
+            .filter(|p| p.header.frag_index as usize > r) // drop data frags 0..=r
+            .collect();
+        let mut reports = Vec::new();
+        for p in kept {
+            reports.extend(rx.push(p));
+        }
+        reports.extend(rx.finish());
+        prop_assert_eq!(reports.len(), 1);
+        prop_assert_eq!(reports[0].block_id, id);
+        prop_assert_eq!(&reports[0].outcome, &BlockOutcome::Lost);
+    }
+}
+
+/// Exhaustive check on one 4+2 block: *every* loss subset of size ≤ 2
+/// recovers, and every 3-data-loss subset within the group is Lost.
+#[test]
+fn exhaustive_single_group_patterns() {
+    let k = 4;
+    let r = 2;
+    let fec = FecConfig::new(k, r).expect("fec");
+    let block = payload(4 * (MTU - sieve_net::packet::HEADER_BYTES) - 17, 99);
+    let (_, pkts) = {
+        let mut tx = Packetizer::new(MTU, fec, 0).expect("packetizer");
+        tx.packetize(&block)
+    };
+    let n = pkts.len();
+    assert_eq!(n, k + r, "one full group expected");
+
+    for mask in 0u32..(1 << n) {
+        let dropped = mask.count_ones() as usize;
+        if dropped > r + 1 {
+            continue;
+        }
+        let data_dropped = (0..k).filter(|i| mask & (1 << i) != 0).count();
+        let parity_left = r - (k..n).filter(|i| mask & (1 << i) != 0).count();
+        let mut rx = Depacketizer::new(MTU, fec).expect("depacketizer");
+        let mut reports = Vec::new();
+        for (i, p) in pkts.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                reports.extend(rx.push(p.clone()));
+            }
+        }
+        reports.extend(rx.finish());
+        assert_eq!(reports.len(), 1, "mask {mask:#b}");
+        let recoverable = data_dropped <= parity_left;
+        match &reports[0].outcome {
+            BlockOutcome::Delivered(b) | BlockOutcome::Recovered(b) => {
+                assert!(recoverable, "mask {mask:#b} should have been Lost");
+                assert_eq!(b, &block, "mask {mask:#b} corrupted the payload");
+            }
+            BlockOutcome::Lost => {
+                assert!(!recoverable, "mask {mask:#b} should have recovered");
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The uplink as a `run_live_in` stage: the hostile WAN drops into an
+//! existing live pipeline, and the `wan.*` registry series stay
+//! consistent with what the pipeline reports.
+
+use std::sync::Arc;
+
+use sieve_core::adapt::WanSignal;
+use sieve_net::{SharedUplink, Uplink, UplinkConfig, WanConfig};
+use sieve_simnet::{run_live_in, LiveItem, LiveStage, StageResult, WAN_STAGE};
+use sieve_stats::Registry;
+
+fn items(n: u64, bytes: usize) -> Vec<LiveItem> {
+    (0..n)
+        .map(|id| LiveItem {
+            id,
+            payload: (0..bytes).map(|i| (i as u64 ^ id) as u8).collect(),
+            tag: id,
+        })
+        .collect()
+}
+
+#[test]
+fn wan_stage_in_a_live_pipeline_conserves_items() {
+    let registry = Arc::new(Registry::new());
+    let uplink = Uplink::with_registry(
+        UplinkConfig::over(WanConfig::paper_wan(21, 0.05)),
+        &registry,
+    )
+    .expect("uplink")
+    .with_signal(Arc::new(WanSignal::new()));
+    let shared = SharedUplink::new(uplink);
+
+    let n = 150u64;
+    let bytes = 3000usize;
+    let stages = vec![
+        LiveStage::compute("edge", StageResult::Emit),
+        shared.live_stage(30.0),
+    ];
+    let report = run_live_in(&registry, stages, items(n, bytes), 8);
+
+    // Every item either crossed the WAN or was reported lost — none vanish.
+    assert_eq!(report.delivered + report.failed, n);
+    assert_eq!(report.dropped, 0, "the WAN stage never drops by policy");
+    assert!(
+        report.delivered > n / 2,
+        "5% loss with 8+2 FEC must deliver most blocks, got {}/{n}",
+        report.delivered
+    );
+    // Reassembled payloads are the original bytes, so the byte ledger
+    // matches item-count × item-size exactly.
+    assert_eq!(report.delivered_bytes, report.delivered * bytes as u64);
+
+    // The `wan.*` series agree with the pipeline's own report.
+    let c = shared.counts();
+    assert_eq!(c.blocks_sent, n);
+    assert_eq!(
+        c.blocks_sent,
+        c.blocks_delivered + c.blocks_recovered + c.blocks_lost,
+        "block conservation through the live stage"
+    );
+    assert_eq!(c.blocks_usable(), report.delivered);
+    assert_eq!(c.blocks_lost, report.failed);
+
+    let sample = registry.sample();
+    let wan = |name: &str| {
+        sample
+            .counters
+            .get(&format!("{WAN_STAGE}.{name}"))
+            .copied()
+            .unwrap_or_else(|| panic!("{WAN_STAGE}.{name} missing from the registry"))
+    };
+    assert_eq!(wan("blocks_sent"), n);
+    assert_eq!(
+        wan("blocks_sent"),
+        wan("blocks_delivered") + wan("blocks_recovered") + wan("blocks_lost")
+    );
+    assert!(wan("packets_sent") > 0);
+    assert_eq!(wan("delivered_bytes"), report.delivered * bytes as u64);
+}
+
+#[test]
+fn recovered_blocks_appear_under_loss_but_not_on_a_clean_channel() {
+    for (loss, seed) in [(0.0, 1u64), (0.06, 2u64)] {
+        let registry = Arc::new(Registry::new());
+        let uplink = Uplink::with_registry(
+            UplinkConfig::over(WanConfig::paper_wan(seed, loss)),
+            &registry,
+        )
+        .expect("uplink")
+        .with_signal(Arc::new(WanSignal::new()));
+        let shared = SharedUplink::new(uplink);
+        let report = run_live_in(
+            &registry,
+            vec![shared.live_stage(30.0)],
+            items(120, 4000),
+            8,
+        );
+        let c = shared.counts();
+        assert_eq!(report.delivered + report.failed, 120);
+        if loss == 0.0 {
+            assert_eq!(
+                c.blocks_recovered, 0,
+                "no recovery needed on a clean channel"
+            );
+            assert_eq!(c.blocks_lost, 0);
+        } else {
+            assert!(
+                c.blocks_recovered > 0,
+                "6% loss with 8+2 FEC must exercise recovery, got {c:?}"
+            );
+        }
+    }
+}

@@ -34,4 +34,4 @@ pub use live::{run_live, run_live_in, LiveItem, LiveReport, LiveStage, StageResu
 pub use pipeline::{ItemResult, Pipeline, PipelineReport, StageSpec, StepWork};
 pub use shard::{GuardedPop, Popped, PushOutcome, ShardQueue, Steal, MAX_LANE_WEIGHT};
 pub use time::SimTime;
-pub use topology::{Link, Node, ThreeTier};
+pub use topology::{Link, Node, ThreeTier, WAN_STAGE};

@@ -357,7 +357,7 @@ mod tests {
     fn throttle_bounds_throughput() {
         // 10 items of 10_000 bytes through a 800_000 bps link ->
         // 0.1 s each -> at least 1 second total.
-        let stages = vec![LiveStage::link("wan", 800_000.0)];
+        let stages = vec![LiveStage::link(crate::topology::WAN_STAGE, 800_000.0)];
         let report = run_live(stages, items(10, 10_000), 2);
         assert!(
             report.wall >= Duration::from_millis(900),

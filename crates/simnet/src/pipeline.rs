@@ -186,7 +186,7 @@ mod tests {
                 name: "decode".into(),
             },
             StageSpec::Transfer {
-                name: "wan".into(),
+                name: crate::topology::WAN_STAGE.into(),
                 bandwidth_bps: 8e6, // 1 MB/s
                 latency_secs: 0.0,
             },

@@ -2,6 +2,12 @@
 
 use serde::{Deserialize, Serialize};
 
+/// The canonical name of the edge→cloud WAN hop, shared by the
+/// tandem-queue pipeline stages, the live-stage helpers, `sieve-net`'s
+/// `wan.*` registry instruments and the bench artifacts — one constant so
+/// the stats series and the experiment columns cannot drift apart.
+pub const WAN_STAGE: &str = "wan";
+
 /// A compute tier (camera, edge server, cloud server).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Node {

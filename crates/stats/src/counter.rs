@@ -158,6 +158,13 @@ impl Gauge {
         self.sub(1);
     }
 
+    /// Overwrites the level. For gauges that publish a sampled value (a
+    /// control factor, a temperature) rather than a balanced up/down
+    /// count; last writer wins.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
     /// The current level.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -214,5 +221,15 @@ mod tests {
         g.sub(2);
         g.inc();
         assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn gauge_set_overwrites() {
+        let g = Gauge::new();
+        g.add(7);
+        g.set(42);
+        assert_eq!(g.get(), 42);
+        g.set(0);
+        assert_eq!(g.get(), 0);
     }
 }

@@ -60,6 +60,7 @@ fn runtime_crate(path: &str) -> bool {
         || path.starts_with("crates/fleet/src/")
         || path.starts_with("crates/core/src/")
         || path.starts_with("crates/stats/src/")
+        || path.starts_with("crates/net/src/")
 }
 
 const RULES: &[Rule] = &[
@@ -74,6 +75,7 @@ const RULES: &[Rule] = &[
             p.starts_with("crates/simnet/src/")
                 || p.starts_with("crates/fleet/src/")
                 || p.starts_with("crates/stats/src/")
+                || p.starts_with("crates/net/src/")
                 || p == "crates/core/src/adapt.rs"
                 || p == "crates/core/src/live.rs"
         },
@@ -97,7 +99,11 @@ const RULES: &[Rule] = &[
                   virtual SimTime to stay deterministic (sieve-stats may \
                   only read time at its cfg-gated collector epoch)",
         matcher: Matcher::Tokens(&["Instant::now", "SystemTime"]),
-        in_scope: |p| p.starts_with("crates/simnet/src/") || p.starts_with("crates/stats/src/"),
+        in_scope: |p| {
+            p.starts_with("crates/simnet/src/")
+                || p.starts_with("crates/stats/src/")
+                || p.starts_with("crates/net/src/")
+        },
     },
     Rule {
         // The codec crate sits below the fleet pool facade, so its one
@@ -363,6 +369,34 @@ fn f() {
             "crates/stats/src/histogram.rs",
             "crates/stats/src/registry.rs",
             "crates/stats/src/collector.rs",
+        ] {
+            let f = check(path, "use std::sync::Mutex;\n");
+            assert_eq!(f.len(), 1, "{path}: {f:?}");
+            assert_eq!(f[0].rule, "no-std-sync", "{path}");
+            let f = check(path, "fn f() { x.unwrap(); }\n");
+            assert_eq!(f.len(), 1, "{path}: {f:?}");
+            assert_eq!(f[0].rule, "no-unwrap", "{path}");
+            let f = check(path, "fn f() { Instant::now(); }\n");
+            assert_eq!(f.len(), 1, "{path}: {f:?}");
+            assert_eq!(f[0].rule, "no-wall-clock", "{path}");
+            let f = check(path, "fn f() { std::thread::spawn(|| {}); }\n");
+            assert_eq!(f.len(), 1, "{path}: {f:?}");
+            assert_eq!(f[0].rule, "no-raw-spawn", "{path}");
+        }
+    }
+
+    #[test]
+    fn net_transport_files_are_in_every_runtime_scope() {
+        // The WAN transport runs inside the fleet's keep path and marches
+        // on virtual SimTime: its sources must stay panic-free, on the
+        // sync facade, and off the wall clock, or the channel model stops
+        // being deterministic and the model checker loses its locks.
+        for path in [
+            "crates/net/src/fec.rs",
+            "crates/net/src/packet.rs",
+            "crates/net/src/channel.rs",
+            "crates/net/src/feedback.rs",
+            "crates/net/src/uplink.rs",
         ] {
             let f = check(path, "use std::sync::Mutex;\n");
             assert_eq!(f.len(), 1, "{path}: {f:?}");

@@ -6,16 +6,22 @@
 //! deliberately small shard pool, and the dashboard renders, at a fixed
 //! refresh, what `sieve-stats` sees: per-stream keep/shed/steal rates
 //! (diffed between refreshes), a keep-rate sparkbar per stream, the fleet
-//! decision-latency quantiles, and the `adapt.*` counters the on-line
-//! rate controllers emit into the global registry. A
-//! [`sieve_stats::Collector`] ticks once per refresh, so the run also
-//! yields a `stats.json` time series (`--export PATH`).
+//! decision-latency quantiles, the `adapt.*` counters the on-line rate
+//! controllers emit into the global registry, and the `wan.*` panel —
+//! every kept frame crosses a lossy [`sieve_net`] uplink, and the panel
+//! shows the loss / FEC-recovery / unrecoverable-block rates plus the
+//! feedback factor's trend. A [`sieve_stats::Collector`] ticks once per
+//! refresh, so the run also yields a `stats.json` time series
+//! (`--export PATH`).
 //!
 //! Run with: `cargo run --release --example fleet_top [-- --streams N]
-//! [--once] [--refresh MS] [--export PATH]`
+//! [--once] [--refresh MS] [--export PATH] [--wan-loss P]`
 //!
 //! `--once` renders a single final frame after the run drains and skips
-//! the ANSI screen handling — the headless mode CI smokes.
+//! the ANSI screen handling — the headless mode CI smokes. In both modes
+//! the run ends with conservation checks: every kept frame became exactly
+//! one WAN block, and every block resolved to delivered, recovered or
+//! lost.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -23,11 +29,14 @@ use std::time::{Duration, Instant};
 
 use sieve::prelude::*;
 use sieve_fleet::{Fleet, FleetConfig, FleetSnapshot, FramePacket, StreamConfig, StreamId};
+use sieve_net::{SharedUplink, Uplink, UplinkConfig, WanConfig};
 use sieve_stats::Collector;
 use sieve_video::EncodedVideo;
 
 const FLEET_SEED: u64 = 0x70B;
 const TARGET_RATE: f64 = 0.1;
+/// Default packet-loss rate of the uplink every kept frame crosses.
+const WAN_LOSS: f64 = 0.02;
 const FRAMES_PER_STREAM: usize = 150;
 /// Cameras replay faster than real time to exercise shedding and stealing.
 const PACE: f64 = 20.0;
@@ -39,6 +48,7 @@ struct Args {
     once: bool,
     refresh: Duration,
     export: Option<String>,
+    wan_loss: f64,
 }
 
 /// One synthetic camera: label, pre-encoded feed, policy, target rate.
@@ -68,6 +78,9 @@ fn parse_args() -> Args {
                 .unwrap_or(500),
         ),
         export: flag_value("--export"),
+        wan_loss: flag_value("--wan-loss")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(WAN_LOSS),
     }
 }
 
@@ -165,13 +178,47 @@ fn render(
         sparkbar(&p99_history[tail..])
     ));
     if let Some(point) = points.last() {
-        let adapt = |name: &str| point.counters.get(name).copied().unwrap_or(0);
+        let counter = |name: &str| point.counters.get(name).copied().unwrap_or(0);
         out.push_str(&format!(
             "adapt: {} scored | {} kept | {} forced keeps\n",
-            adapt("adapt.observed"),
-            adapt("adapt.kept"),
-            adapt("adapt.forced_keeps"),
+            counter("adapt.observed"),
+            counter("adapt.kept"),
+            counter("adapt.forced_keeps"),
         ));
+        // The WAN panel: packet loss, FEC recoveries and unrecoverable
+        // blocks as rates, plus the feedback factor's trend (the gauge is
+        // in ppm; zero means no feedback quantum has closed yet).
+        let blocks = counter("wan.blocks_sent");
+        if blocks > 0 {
+            let pct = |num: u64, den: u64| {
+                if den == 0 {
+                    0.0
+                } else {
+                    100.0 * num as f64 / den as f64
+                }
+            };
+            out.push_str(&format!(
+                "wan:   {} blocks | pkt loss {:.1}% | recovered {:.1}% | unrecoverable {:.1}% | marked {}\n",
+                blocks,
+                pct(counter("wan.packets_lost"), counter("wan.packets_sent")),
+                pct(counter("wan.blocks_recovered"), blocks),
+                pct(counter("wan.blocks_lost"), blocks),
+                counter("wan.packets_marked"),
+            ));
+            let factors: Vec<f64> = points
+                .iter()
+                .filter_map(|p| p.gauges.get("wan.target_factor_ppm"))
+                .filter(|&&ppm| ppm > 0)
+                .map(|&ppm| ppm as f64 / 1e6)
+                .collect();
+            if let Some(&current) = factors.last() {
+                let tail = factors.len().saturating_sub(SPARK_WIDTH);
+                out.push_str(&format!(
+                    "wan factor {current:.2}: {}\n",
+                    sparkbar(&factors[tail..])
+                ));
+            }
+        }
     }
     out
 }
@@ -203,8 +250,8 @@ fn main() {
         })
         .collect();
 
-    // Fleet, adapt controllers and the collector all share the global
-    // registry, so one sample sees every stage.
+    // Fleet, adapt controllers, the uplink and the collector all share
+    // the global registry, so one sample sees every stage.
     let registry = sieve_stats::global().clone();
     let fleet = Fleet::with_registry(
         FleetConfig {
@@ -218,15 +265,30 @@ fn main() {
     );
     let collector = Collector::new(registry);
 
+    // Every kept frame crosses one shared lossy uplink; its feedback
+    // drives the process-global WanSignal the adapt controllers read.
+    sieve_core::adapt::wan_signal().reset();
+    let uplink = Uplink::new(UplinkConfig::over(WanConfig::paper_wan(
+        FLEET_SEED,
+        args.wan_loss,
+    )))
+    .expect("uplink");
+    let shared = SharedUplink::new(uplink);
+
     let ids: Vec<_> = cameras
         .iter()
-        .map(|(label, encoded, selector, target)| {
+        .enumerate()
+        .map(|(idx, (label, encoded, selector, target))| {
             let mut config = StreamConfig::new(&**label, encoded.resolution(), encoded.quality());
             if let Some(rate) = target {
                 config = config.with_target_rate(*rate);
             }
+            // Golden-ratio sub-frame phases keep coincident I-frames from
+            // piling into the uplink at the same virtual instant.
+            let fps = f64::from(encoded.fps());
+            let phase = (idx as f64 * 0.618_033_988_749_895).fract() / fps;
             fleet
-                .join(selector.as_ref(), config)
+                .join_with_sink(selector.as_ref(), config, shared.keep_sink(fps, phase))
                 .expect("fleet admission")
         })
         .collect();
@@ -271,8 +333,10 @@ fn main() {
     });
 
     // Drain fully, then render the authoritative final frame in both
-    // modes (the one CI asserts on).
+    // modes (the one CI asserts on). Shutting the fleet down drops every
+    // keep-sink, so the uplink can resolve its remaining blocks.
     let report = fleet.shutdown();
+    shared.finish();
     collector.tick();
     let empty = FleetSnapshot {
         streams: Vec::new(),
@@ -314,4 +378,25 @@ fn main() {
         "every pushed frame is either decided or shed"
     );
     assert!(!collector.is_empty(), "collector must have sampled the run");
+
+    // Frame/block conservation across the WAN: every kept frame became
+    // exactly one block, and every block resolved to exactly one outcome.
+    let wan = shared.counts();
+    println!(
+        "wan: {} blocks sent, {} delivered, {} recovered, {} lost over {} feedback quanta",
+        wan.blocks_sent,
+        wan.blocks_delivered,
+        wan.blocks_recovered,
+        wan.blocks_lost,
+        wan.feedback_quanta
+    );
+    assert_eq!(
+        wan.blocks_sent, agg.kept,
+        "every kept frame must have crossed the WAN as exactly one block"
+    );
+    assert_eq!(
+        wan.blocks_sent,
+        wan.blocks_delivered + wan.blocks_recovered + wan.blocks_lost,
+        "WAN block ledger must be conserved"
+    );
 }

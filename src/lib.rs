@@ -19,6 +19,7 @@
 //! | [`simnet`] | `sieve-simnet` | dataflow engine, 3-tier topology, DES + live threaded runtime |
 //! | [`core`] | `sieve-core` | SiEVE itself: offline tuner, I-frame seeker, metrics, end-to-end pipelines |
 //! | [`fleet`] | `sieve-fleet` | multi-stream edge runtime: admission, sharded scheduling with load shedding, on-line adaptive selection |
+//! | [`net`] | `sieve-net` | edge→cloud WAN transport: FEC packetizer, hostile channel model, feedback-driven rate control |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@ pub use sieve_core as core;
 pub use sieve_datasets as datasets;
 pub use sieve_filters as filters;
 pub use sieve_fleet as fleet;
+pub use sieve_net as net;
 pub use sieve_nn as nn;
 pub use sieve_simnet as simnet;
 pub use sieve_stats as stats;
